@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	experiments [-exp all|fig10|fig11|fig12|fig13|table2] [-graphs N] [-seed S] [-quick] [-full-models]
+//
+// The default reproduces every experiment with 100 random graphs per
+// topology, as in the paper. -quick reduces graph counts and volumes for a
+// fast smoke run. -full-models runs Table 2 on the full-size ResNet-50 and
+// transformer-encoder graphs (tens of thousands of nodes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, fig13, table2, ablation")
+	graphs := flag.Int("graphs", 0, "random graphs per topology (default 100, or 15 with -quick)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	quick := flag.Bool("quick", false, "reduced graph counts and volumes")
+	fullModels := flag.Bool("full-models", false, "run Table 2 on full-size model graphs")
+	flag.Parse()
+
+	opt := experiments.Defaults()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	if *graphs > 0 {
+		opt.Graphs = *graphs
+	}
+	opt.Seed = *seed
+
+	w := os.Stdout
+	run := func(name string, f func()) {
+		if *exp == "all" || *exp == name {
+			f()
+		}
+	}
+	run("fig10", func() { experiments.Fig10(w, opt) })
+	run("fig11", func() { experiments.Fig11(w, opt) })
+	run("fig12", func() { experiments.Fig12(w, opt) })
+	run("fig13", func() {
+		o := opt
+		if !*quick {
+			o.Config = experiments.Quick().Config // element-level simulation
+		}
+		experiments.Fig13(w, o)
+	})
+	run("table2", func() { experiments.Table2(w, *fullModels) })
+	run("ablation", func() {
+		o := opt
+		if !*quick {
+			o.Config = experiments.Quick().Config // element-level simulation
+		}
+		experiments.AblationBuffers(w, o)
+	})
+
+	switch *exp {
+	case "all", "fig10", "fig11", "fig12", "fig13", "table2", "ablation":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,248 @@
+// Command streamsched schedules a canonical task graph onto an abstract
+// dataflow device and reports the streaming schedule, the FIFO buffer sizes
+// required for deadlock freedom, and (optionally) a discrete-event
+// validation of the result.
+//
+// Usage:
+//
+//	streamsched -synth chain -size 8 -pes 4                 # generated input
+//	streamsched -graph app.json -pes 16 -variant rlx -sim   # JSON input
+//	streamsched -model encoder -pes 256                     # ML model graphs
+//
+// JSON graphs list canonical nodes (kind: compute/buffer/source/sink with
+// per-edge in/out volumes) and edges as node-index pairs; see
+// examples/quickstart for the builder API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/buffers"
+	"repro/internal/core"
+	"repro/internal/desim"
+	"repro/internal/graph"
+	"repro/internal/noc"
+	"repro/internal/onnx"
+	"repro/internal/schedule"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "streamsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphPath = flag.String("graph", "", "JSON task graph to schedule")
+		synthName = flag.String("synth", "", "generate a synthetic graph: chain, fft, gaussian, cholesky")
+		model     = flag.String("model", "", "generate an ML model graph: resnet, encoder, vgg, mlp (add -full for published sizes)")
+		size      = flag.Int("size", 8, "synthetic size parameter (tasks, points, matrix, or tiles)")
+		seed      = flag.Int64("seed", 1, "random seed for synthetic volumes")
+		pes       = flag.Int("pes", 4, "number of processing elements")
+		variant   = flag.String("variant", "lts", "spatial block heuristic: lts or rlx")
+		sim       = flag.Bool("sim", false, "validate the schedule with the discrete-event simulator")
+		dotPath   = flag.String("dot", "", "write the task graph in Graphviz DOT format to this file")
+		showTasks = flag.Bool("tasks", false, "print the per-task schedule table")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file of the schedule")
+		place     = flag.Bool("place", false, "place blocks on a 2D mesh NoC and report congestion")
+		pipeline  = flag.Bool("pipeline", false, "report steady-state pipelining of repeated iterations")
+	)
+	flag.Parse()
+
+	tg, err := loadGraph(*graphPath, *synthName, *model, *size, *seed)
+	if err != nil {
+		return err
+	}
+
+	var v schedule.Variant
+	switch *variant {
+	case "lts":
+		v = schedule.SBLTS
+	case "rlx":
+		v = schedule.SBRLX
+	default:
+		return fmt.Errorf("unknown variant %q (want lts or rlx)", *variant)
+	}
+
+	part, err := schedule.Algorithm1(tg, *pes, schedule.Options{Variant: v})
+	if err != nil {
+		return err
+	}
+	res, err := schedule.Schedule(tg, part, *pes)
+	if err != nil {
+		return err
+	}
+	sizes := buffers.Sizes(tg, res)
+
+	fmt.Printf("graph: %d nodes (%d compute), %d edges\n",
+		tg.Len(), tg.NumComputeNodes(), tg.G.NumEdges())
+	fmt.Printf("schedule (%s, %d PEs): %d spatial blocks, makespan %.0f\n",
+		v, *pes, part.NumBlocks(), res.Makespan)
+	fmt.Printf("T1 %.0f   speedup %.2f   SSLR %.3f   utilization %.1f%%\n",
+		schedule.SequentialTime(tg), res.Speedup(tg), res.SSLR(tg), 100*res.Utilization(tg, *pes))
+
+	var extra int64
+	var cycleEdges int
+	for _, e := range sizes {
+		if e.OnCycle {
+			cycleEdges++
+			extra += e.Space
+		}
+	}
+	fmt.Printf("buffers: %d streaming edges, %d on undirected cycles, %d total FIFO slots on cycle edges\n",
+		len(sizes), cycleEdges, extra)
+
+	if *showTasks {
+		printTasks(tg, res)
+	}
+	if *gantt {
+		fmt.Print(trace.Gantt(tg, res, 100))
+		fmt.Print(trace.Summary(tg, res))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f, tg, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *tracePath)
+	}
+	if *place {
+		mesh := noc.NewMesh(*pes)
+		_, costs, err := noc.PlaceAll(tg, res, mesh, 2000, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("placement on %dx%d mesh (annealed):\n", mesh.W, mesh.H)
+		for b, c := range costs {
+			fmt.Printf("  block %2d: hop-volume %.0f, max link load %.0f, avg hops %.2f\n",
+				b, c.TotalHopVolume, c.MaxLinkLoad, c.AvgHops)
+		}
+	}
+	if *pipeline {
+		p := schedule.AnalyzePipeline(tg, res)
+		fmt.Printf("pipeline: latency %.0f, initiation interval %.0f, steady-state throughput %.3g iters/cycle\n",
+			p.Latency, p.InitiationInterval, p.Throughput())
+	}
+
+	if *sim {
+		st, err := desim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+		if err != nil {
+			return err
+		}
+		if st.Deadlocked {
+			fmt.Printf("simulation: DEADLOCK at cycle %d\n", st.DeadlockCycle)
+		} else {
+			fmt.Printf("simulation: makespan %.0f (relative error %+.2f%%), no deadlock\n",
+				st.Makespan, 100*st.RelativeError(res.Makespan))
+		}
+	}
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteString(tg.DOT("taskgraph")); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+	return nil
+}
+
+func loadGraph(path, synthName, model string, size int, seed int64) (*core.TaskGraph, error) {
+	selected := 0
+	for _, s := range []string{path, synthName, model} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return nil, fmt.Errorf("choose exactly one of -graph, -synth, or -model")
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.DecodeJSON(f)
+	}
+	if model != "" {
+		switch model {
+		case "resnet":
+			return onnx.ResNet50(onnx.TinyResNet50())
+		case "resnet-full":
+			return onnx.ResNet50(onnx.FullResNet50())
+		case "encoder":
+			return onnx.TransformerEncoder(onnx.TinyEncoder())
+		case "encoder-full":
+			return onnx.TransformerEncoder(onnx.BaseEncoder())
+		case "vgg":
+			return onnx.VGG(onnx.TinyVGG())
+		case "vgg-full":
+			return onnx.VGG(onnx.FullVGG16())
+		case "mlp":
+			return onnx.MLP(onnx.MLPConfig{Batch: 64, Layers: []int64{256, 512, 512, 128, 10}})
+		}
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cfg := synth.DefaultConfig()
+	switch synthName {
+	case "chain":
+		return synth.Chain(size, rng, cfg), nil
+	case "fft":
+		return synth.FFT(size, rng, cfg), nil
+	case "gaussian":
+		return synth.Gaussian(size, rng, cfg), nil
+	case "cholesky":
+		return synth.Cholesky(size, rng, cfg), nil
+	}
+	return nil, fmt.Errorf("unknown synthetic topology %q", synthName)
+}
+
+func printTasks(tg *core.TaskGraph, res *schedule.Result) {
+	type row struct {
+		id    graph.NodeID
+		block int
+	}
+	rows := make([]row, 0, tg.Len())
+	for v := 0; v < tg.Len(); v++ {
+		rows = append(rows, row{graph.NodeID(v), res.Partition.BlockOf[v]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].block != rows[j].block {
+			return rows[i].block < rows[j].block
+		}
+		return res.ST[rows[i].id] < res.ST[rows[j].id]
+	})
+	fmt.Printf("%-20s %5s %5s %3s %8s %8s %8s %6s\n",
+		"task", "block", "PE", "knd", "ST", "FO", "LO", "So")
+	for _, r := range rows {
+		n := tg.Nodes[r.id]
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", r.id)
+		}
+		fmt.Printf("%-20.20s %5d %5d %3.3s %8.0f %8.0f %8.0f %6.2f\n",
+			name, r.block, res.PE[r.id], n.Kind.String(), res.ST[r.id], res.FO[r.id], res.LO[r.id], res.So[r.id])
+	}
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func chain(n int, k int64) *core.TaskGraph {
+	tg := core.New()
+	prev := tg.AddElementWise("t0", k)
+	for i := 1; i < n; i++ {
+		cur := tg.AddElementWise("t", k)
+		tg.MustConnect(prev, cur)
+		prev = cur
+	}
+	if err := tg.Freeze(); err != nil {
+		panic(err)
+	}
+	return tg
+}
+
+// TestChainNoSpeedup: with buffered communication a chain is inherently
+// sequential, so speedup is exactly 1 regardless of PE count (Section 7.1).
+func TestChainNoSpeedup(t *testing.T) {
+	tg := chain(8, 100)
+	for _, p := range []int{1, 2, 4, 8} {
+		r, err := Schedule(tg, p, Options{Insertion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Speedup(tg); got != 1 {
+			t.Errorf("P=%d: speedup = %g, want 1", p, got)
+		}
+		if got := r.SLR(tg); got != 1 {
+			t.Errorf("P=%d: SLR = %g, want 1", p, got)
+		}
+	}
+}
+
+// TestIndependentTasksPerfectSpeedup: P independent equal tasks on P PEs.
+func TestIndependentTasksPerfectSpeedup(t *testing.T) {
+	tg := core.New()
+	for i := 0; i < 8; i++ {
+		tg.AddElementWise("t", 64)
+	}
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Schedule(tg, 8, Options{Insertion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Speedup(tg); got != 8 {
+		t.Errorf("speedup = %g, want 8", got)
+	}
+	if got := r.Utilization(tg); got != 1 {
+		t.Errorf("utilization = %g, want 1", got)
+	}
+}
+
+// TestPriorityPrefersCriticalPath: the scheduler runs the head of the long
+// chain before an independent short task when only one PE is free.
+func TestPriorityPrefersCriticalPath(t *testing.T) {
+	tg := core.New()
+	// Long chain a1 -> a2 -> a3 (work 10 each) and a lone task b (work 10).
+	a1 := tg.AddElementWise("a1", 10)
+	a2 := tg.AddElementWise("a2", 10)
+	a3 := tg.AddElementWise("a3", 10)
+	b := tg.AddElementWise("b", 10)
+	tg.MustConnect(a1, a2)
+	tg.MustConnect(a2, a3)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Schedule(tg, 1, Options{Insertion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks[a1].Start != 0 {
+		t.Errorf("a1 starts at %g, want 0 (bottom level %g vs %g)",
+			r.Tasks[a1].Start, r.Tasks[a1].BottomLevel, r.Tasks[b].BottomLevel)
+	}
+	if r.Tasks[b].Start < r.Tasks[a1].End {
+		t.Errorf("b scheduled before critical-path head finished")
+	}
+	if r.Makespan != 40 {
+		t.Errorf("makespan = %g, want 40", r.Makespan)
+	}
+}
+
+// TestInsertionFillsGap: insertion-slot placement reuses an idle gap that
+// end-append scheduling would waste.
+func TestInsertionFillsGap(t *testing.T) {
+	tg := core.New()
+	// Two chains: x1(20) -> x2(20), y1(5) -> y2(5); one lone z(5).
+	// On 2 PEs: PE0 runs x1 then x2; PE1 runs y1, y2 leaving a gap before
+	// any later arrival. z (work 5, low priority) fits into PE1's tail.
+	x1 := tg.AddElementWise("x1", 20)
+	x2 := tg.AddElementWise("x2", 20)
+	y1 := tg.AddElementWise("y1", 5)
+	y2 := tg.AddElementWise("y2", 5)
+	z := tg.AddElementWise("z", 5)
+	tg.MustConnect(x1, x2)
+	tg.MustConnect(y1, y2)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Schedule(tg, 2, Options{Insertion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 40 {
+		t.Errorf("makespan = %g, want 40 (z hidden in idle time)", r.Makespan)
+	}
+	if r.Tasks[z].End > 40 {
+		t.Errorf("z finishes at %g, should fit before 40", r.Tasks[z].End)
+	}
+}
+
+// TestPassiveNodesFree: buffers and explicit sources/sinks occupy no PE.
+func TestPassiveNodesFree(t *testing.T) {
+	tg := core.New()
+	src := tg.AddSource("in", 16)
+	buf := tg.AddBuffer("b", 16, 16)
+	cmp := tg.AddElementWise("c", 16)
+	snk := tg.AddSink("out", 16)
+	tg.MustConnect(src, buf)
+	tg.MustConnect(buf, cmp)
+	tg.MustConnect(cmp, snk)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Schedule(tg, 1, Options{Insertion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks[src].PE != -1 || r.Tasks[buf].PE != -1 || r.Tasks[snk].PE != -1 {
+		t.Errorf("passive nodes were assigned PEs: src=%d buf=%d snk=%d",
+			r.Tasks[src].PE, r.Tasks[buf].PE, r.Tasks[snk].PE)
+	}
+	if r.Tasks[cmp].PE != 0 {
+		t.Errorf("compute node PE = %d, want 0", r.Tasks[cmp].PE)
+	}
+	if r.Makespan != 16 {
+		t.Errorf("makespan = %g, want 16", r.Makespan)
+	}
+}

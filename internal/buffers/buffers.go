@@ -1,0 +1,202 @@
+// Package buffers computes the FIFO buffer space needed for deadlock-free
+// execution of pipelined (streaming) communications, following Section 6 of
+// the paper. Streaming channels use blocking-after-service semantics, so an
+// undersized FIFO on one of several disjoint paths between two tasks can
+// stall the producer and deadlock the whole spatial block even though the
+// task graph is acyclic.
+//
+// Deadlocks can only occur along streaming paths, so each spatial block is
+// analyzed independently. Within a block, only nodes lying on an undirected
+// cycle are at risk; for an incident streaming edge (u,v) of such a node the
+// required space is the extra delay data experiences on the slowest sibling
+// path, divided by the production interval of u (Equation 5), capped by the
+// edge's total data volume.
+package buffers
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schedule"
+)
+
+// EdgeSpace is the computed FIFO depth for one streaming edge.
+type EdgeSpace struct {
+	From, To graph.NodeID
+	// Space is the FIFO depth in elements. At least MinDepth even for edges
+	// that need no slack.
+	Space int64
+	// OnCycle reports whether the edge's head lies on an undirected cycle
+	// of its spatial block (the only case where Equation 5 applies).
+	OnCycle bool
+}
+
+// MinDepth is the smallest FIFO depth assigned to any streaming edge. One
+// element suffices for bubble-free rate-1 pipelining under
+// consume-then-produce channel semantics.
+const MinDepth = 1
+
+// Sizes computes the buffer space of every streaming edge of the scheduled
+// graph, block by block. The result is keyed by edge and sorted by
+// (From, To).
+func Sizes(t *core.TaskGraph, r *schedule.Result) []EdgeSpace {
+	var out []EdgeSpace
+	for _, blk := range r.Partition.Blocks {
+		out = append(out, sizeBlock(t, r, blk)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// SizeMap returns Sizes as a map keyed by [from, to].
+func SizeMap(t *core.TaskGraph, r *schedule.Result) map[[2]graph.NodeID]int64 {
+	m := make(map[[2]graph.NodeID]int64)
+	for _, e := range Sizes(t, r) {
+		m[[2]graph.NodeID{e.From, e.To}] = e.Space
+	}
+	return m
+}
+
+// sizeBlock applies Equation 5 within one spatial block.
+func sizeBlock(t *core.TaskGraph, r *schedule.Result, blk schedule.Block) []EdgeSpace {
+	inBlk := make(map[graph.NodeID]bool, len(blk.Nodes))
+	for _, v := range blk.Nodes {
+		inBlk[v] = true
+	}
+	streaming := func(u, v graph.NodeID) bool {
+		return inBlk[u] && inBlk[v] && r.Partition.Streaming(t, u, v)
+	}
+	// Delay paths can also run through in-block buffer nodes (Figure 4,
+	// graph 2: the norm value reaches the divider only after the whole
+	// input was consumed), so cycle detection and the per-node delay bound
+	// consider every in-block edge, while only streaming edges receive
+	// FIFO space.
+	inBlockEdge := func(u, v graph.NodeID) bool { return inBlk[u] && inBlk[v] }
+
+	onCycle := cycleNodes(t, blk, inBlockEdge)
+
+	var out []EdgeSpace
+	for _, v := range blk.Nodes {
+		// Gather the streaming predecessors of v inside the block.
+		var preds []graph.NodeID
+		for _, u := range t.G.Preds(v) {
+			if streaming(u, v) {
+				preds = append(preds, u)
+			}
+		}
+		if len(preds) == 0 {
+			continue
+		}
+		// The highest delay any element experiences reaching v is the
+		// largest first-out time among its in-block predecessors, whether
+		// they stream directly or emit from a buffer.
+		maxFO := math.Inf(-1)
+		nPreds := 0
+		for _, u := range t.G.Preds(v) {
+			if inBlockEdge(u, v) {
+				nPreds++
+				if r.FO[u] > maxFO {
+					maxFO = r.FO[u]
+				}
+			}
+		}
+		for _, u := range preds {
+			space := int64(MinDepth)
+			cyc := onCycle[v] && nPreds > 1
+			if cyc {
+				so := r.So[u]
+				if so < 1 {
+					so = 1
+				}
+				need := int64(math.Ceil((maxFO - r.FO[u]) / so))
+				if need > space {
+					space = need
+				}
+				if vol := t.G.Volume(u, v); space > vol {
+					space = vol // never need more than the total data sent
+				}
+			}
+			out = append(out, EdgeSpace{From: u, To: v, Space: space, OnCycle: cyc})
+		}
+	}
+	return out
+}
+
+// cycleNodes returns the set of block nodes lying on an undirected cycle of
+// the block's streaming subgraph. A node is on an undirected cycle exactly
+// when it survives in the 2-core of the undirected graph (iteratively
+// pruning nodes of degree < 2), which is equivalent to the marked-ancestor
+// DFS the paper describes and runs in O(V + E).
+//
+// A virtual super-source is connected to every stream entry of the block
+// (nodes with no in-block streaming predecessor): independent streams are
+// coupled through the environment they all draw from, so a join of two
+// source-fed chains can stall exactly like a reconvergent diamond — this is
+// the situation of Figure 9, graph 2.
+func cycleNodes(t *core.TaskGraph, blk schedule.Block, inBlockEdge func(u, v graph.NodeID) bool) map[graph.NodeID]bool {
+	const virtual = graph.NodeID(-2) // super-source sentinel
+	deg := make(map[graph.NodeID]int, len(blk.Nodes))
+	adj := make(map[graph.NodeID][]graph.NodeID, len(blk.Nodes))
+	for _, v := range blk.Nodes {
+		for _, w := range t.G.Succs(v) {
+			if inBlockEdge(v, w) {
+				deg[v]++
+				deg[w]++
+				adj[v] = append(adj[v], w)
+				adj[w] = append(adj[w], v)
+			}
+		}
+	}
+	for _, v := range blk.Nodes {
+		entry := deg[v] > 0 // participates in a stream...
+		for _, u := range t.G.Preds(v) {
+			if inBlockEdge(u, v) {
+				entry = false // ...but is fed within the block
+				break
+			}
+		}
+		if entry {
+			deg[v]++
+			deg[virtual]++
+			adj[v] = append(adj[v], virtual)
+			adj[virtual] = append(adj[virtual], v)
+		}
+	}
+	// Peel degree-<2 nodes.
+	var queue []graph.NodeID
+	removed := make(map[graph.NodeID]bool)
+	for _, v := range blk.Nodes {
+		if deg[v] < 2 {
+			queue = append(queue, v)
+			removed[v] = true
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if removed[w] {
+				continue
+			}
+			deg[w]--
+			if deg[w] < 2 {
+				removed[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	onCycle := make(map[graph.NodeID]bool)
+	for _, v := range blk.Nodes {
+		if deg[v] >= 2 && !removed[v] {
+			onCycle[v] = true
+		}
+	}
+	return onCycle
+}

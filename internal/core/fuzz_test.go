@@ -1,0 +1,41 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeJSON checks that arbitrary input never panics the decoder and
+// that anything it accepts is a valid, frozen canonical task graph that
+// round-trips.
+func FuzzDecodeJSON(f *testing.F) {
+	f.Add(`{"nodes":[{"kind":"compute","in":4,"out":4}],"edges":[]}`)
+	f.Add(`{"nodes":[{"kind":"source","out":8},{"kind":"sink","in":8}],"edges":[[0,1]]}`)
+	f.Add(`{"nodes":[{"kind":"buffer","in":2,"out":4},{"kind":"compute","in":4,"out":1}],"edges":[[0,1]]}`)
+	f.Add(`{"nodes":[],"edges":[]}`)
+	f.Add(`{`)
+	f.Add(`[1,2,3]`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		tg, err := DecodeJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		if err := tg.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, in)
+		}
+		var buf bytes.Buffer
+		if err := tg.EncodeJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Len() != tg.Len() || again.G.NumEdges() != tg.G.NumEdges() {
+			t.Fatalf("round trip changed structure")
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tg := New()
+	s := tg.AddSource("in", 32)
+	d := tg.AddCompute("half", 32, 16)
+	b := tg.AddBuffer("mem", 16, 16)
+	e := tg.AddElementWise("id", 16)
+	k := tg.AddSink("out", 16)
+	tg.MustConnect(s, d)
+	tg.MustConnect(d, b)
+	tg.MustConnect(b, e)
+	tg.MustConnect(e, k)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tg.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tg.Len() || got.G.NumEdges() != tg.G.NumEdges() {
+		t.Fatalf("round trip lost structure: %d/%d nodes, %d/%d edges",
+			got.Len(), tg.Len(), got.G.NumEdges(), tg.G.NumEdges())
+	}
+	for v := range tg.Nodes {
+		if got.Nodes[v] != tg.Nodes[v] {
+			t.Errorf("node %d: %+v != %+v", v, got.Nodes[v], tg.Nodes[v])
+		}
+	}
+	if !got.G.Frozen() {
+		t.Error("decoded graph not frozen")
+	}
+}
+
+func TestDecodeJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":    `{"nodes":[{"kind":"wizard","in":1,"out":1}],"edges":[]}`,
+		"bad edge":    `{"nodes":[{"kind":"compute","in":1,"out":1}],"edges":[[0,5]]}`,
+		"volume miss": `{"nodes":[{"kind":"compute","in":4,"out":4},{"kind":"compute","in":8,"out":8}],"edges":[[0,1]]}`,
+		"cycle":       `{"nodes":[{"kind":"compute","in":4,"out":4},{"kind":"compute","in":4,"out":4}],"edges":[[0,1],[1,0]]}`,
+		"not json":    `hello`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package csdf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// BoundedResult reports one bounded-buffer self-timed execution.
+type BoundedResult struct {
+	// Makespan is the completion time, or +Inf when the execution
+	// deadlocked.
+	Makespan float64
+	// Deadlocked is set when some actor could never complete its firings.
+	Deadlocked bool
+	// Cycle is the time at which the deadlock was detected.
+	Cycle int64
+}
+
+// BoundedSelfTimed executes one iteration of the acyclic CSDF graph with
+// every channel bounded to cap tokens and blocking-after-service writes: an
+// actor only fires when its inputs hold enough tokens and every output has
+// room for the tokens the phase produces. This reproduces the classic
+// buffer-sizing question for dataflow graphs (Stuijk et al., Moreira et
+// al.): too little channel capacity stalls or deadlocks the graph, more
+// capacity buys throughput up to the unbounded optimum.
+func (g *Graph) BoundedSelfTimed(cap int64) (BoundedResult, error) {
+	if cap < 1 {
+		return BoundedResult{}, fmt.Errorf("csdf: capacity must be positive, got %d", cap)
+	}
+	topo, err := g.D.TopoOrder()
+	if err != nil {
+		return BoundedResult{}, fmt.Errorf("csdf: bounded execution needs an acyclic graph: %w", err)
+	}
+
+	// Channel occupancy per edge; actor state: fired count and per-actor
+	// completion.
+	type chanState struct{ tokens int64 }
+	chans := map[[2]graph.NodeID]*chanState{}
+	for _, e := range g.D.Edges() {
+		chans[[2]graph.NodeID{e.From, e.To}] = &chanState{}
+	}
+
+	fired := make([]int64, g.D.Len())
+	pending := 0
+	for v, a := range g.Actors {
+		if a.Firings > 0 {
+			pending++
+		} else {
+			fired[v] = 0
+		}
+	}
+
+	// Reverse topological order: consumers fire before producers within a
+	// cycle, so a pop frees space the producer can use in the same cycle,
+	// matching the desim semantics.
+	order := make([]graph.NodeID, len(topo))
+	for i, v := range topo {
+		order[len(topo)-1-i] = v
+	}
+
+	cycle := int64(0)
+	maxCycles := int64(0)
+	for _, a := range g.Actors {
+		maxCycles += a.Firings
+	}
+	maxCycles = maxCycles*4 + 1024 // generous stall allowance
+
+	for pending > 0 {
+		cycle++
+		if cycle > maxCycles {
+			return BoundedResult{Makespan: math.Inf(1), Deadlocked: true, Cycle: cycle}, nil
+		}
+		progress := false
+		for _, v := range order {
+			a := g.Actors[v]
+			if fired[v] >= a.Firings {
+				continue
+			}
+			phase := int(fired[v] % int64(len(a.Cons)))
+			need, prod := a.Cons[phase], a.Prod[phase]
+
+			ok := true
+			for _, u := range g.D.Preds(v) {
+				if chans[[2]graph.NodeID{u, v}].tokens < need {
+					ok = false
+					break
+				}
+			}
+			if ok && prod > 0 {
+				for _, w := range g.D.Succs(v) {
+					if chans[[2]graph.NodeID{v, w}].tokens+prod > cap {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, u := range g.D.Preds(v) {
+				chans[[2]graph.NodeID{u, v}].tokens -= need
+			}
+			for _, w := range g.D.Succs(v) {
+				chans[[2]graph.NodeID{v, w}].tokens += prod
+			}
+			fired[v]++
+			if fired[v] >= a.Firings {
+				pending--
+			}
+			progress = true
+		}
+		if !progress {
+			return BoundedResult{Makespan: math.Inf(1), Deadlocked: true, Cycle: cycle}, nil
+		}
+	}
+	return BoundedResult{Makespan: float64(cycle)}, nil
+}
+
+// TradeoffPoint is one sample of the buffer-size/throughput curve.
+type TradeoffPoint struct {
+	Capacity int64
+	Makespan float64
+	Deadlock bool
+}
+
+// BufferThroughputTradeoff evaluates the makespan for each uniform channel
+// capacity, reproducing the throughput/buffering trade-off exploration of
+// the SDF literature. Capacities are evaluated in the given order.
+func (g *Graph) BufferThroughputTradeoff(caps []int64) ([]TradeoffPoint, error) {
+	var out []TradeoffPoint
+	for _, c := range caps {
+		r, err := g.BoundedSelfTimed(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TradeoffPoint{Capacity: c, Makespan: r.Makespan, Deadlock: r.Deadlocked})
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package csdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func elwiseChainGraph(t *testing.T, n int, k int64) *Graph {
+	t.Helper()
+	tg := core.New()
+	prev := tg.AddElementWise("t0", k)
+	for i := 1; i < n; i++ {
+		cur := tg.AddElementWise("t", k)
+		tg.MustConnect(prev, cur)
+		prev = cur
+	}
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromCanonical(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestBoundedChainUnitCapacity: a rate-1 chain pipelines bubble-free even
+// with single-token channels under consume-then-produce semantics.
+func TestBoundedChainUnitCapacity(t *testing.T) {
+	const n, k = 6, 50
+	g := elwiseChainGraph(t, n, k)
+	r, err := g.BoundedSelfTimed(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Deadlocked {
+		t.Fatal("unit-capacity chain deadlocked")
+	}
+	if r.Makespan != k+n-1 {
+		t.Errorf("makespan = %g, want %d", r.Makespan, k+n-1)
+	}
+}
+
+// TestBoundedConvergesToUnbounded: growing capacity approaches the
+// unbounded self-timed makespan and never improves beyond it.
+func TestBoundedConvergesToUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tg := synth.Gaussian(6, rng, synth.SmallConfig())
+	g, err := FromCanonical(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := g.SelfTimedMakespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := g.BufferThroughputTradeoff([]int64{1, 2, 4, 16, 64, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, p := range points {
+		if !p.Deadlock {
+			if p.Makespan > prev+1e-9 {
+				t.Errorf("cap %d: makespan %g worse than smaller capacity %g",
+					p.Capacity, p.Makespan, prev)
+			}
+			prev = p.Makespan
+			if p.Makespan < unbounded-1e-9 {
+				t.Errorf("cap %d: makespan %g beats unbounded optimum %g",
+					p.Capacity, p.Makespan, unbounded)
+			}
+		}
+	}
+	last := points[len(points)-1]
+	if last.Deadlock {
+		t.Fatal("largest capacity deadlocked")
+	}
+	if last.Makespan > unbounded*1.02 {
+		t.Errorf("cap %d makespan %g did not converge to unbounded %g",
+			last.Capacity, last.Makespan, unbounded)
+	}
+}
+
+// TestBoundedDeadlockOnReconvergence: the Figure 9 diamond deadlocks with
+// tiny channels but completes with enough space, matching the Section 6
+// analysis at the CSDF level.
+func TestBoundedDeadlockOnReconvergence(t *testing.T) {
+	tg := core.New()
+	n0 := tg.AddElementWise("t0", 32)
+	n1 := tg.AddCompute("t1", 32, 4)
+	n2 := tg.AddCompute("t2", 4, 2)
+	n3 := tg.AddCompute("t3", 2, 32)
+	n4 := tg.AddElementWise("t4", 32)
+	tg.MustConnect(n0, n1)
+	tg.MustConnect(n1, n2)
+	tg.MustConnect(n2, n3)
+	tg.MustConnect(n3, n4)
+	tg.MustConnect(n0, n4)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromCanonical(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := g.BoundedSelfTimed(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.Deadlocked {
+		t.Errorf("capacity 4 should deadlock the diamond, finished at %g", small.Makespan)
+	}
+	big, err := g.BoundedSelfTimed(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Deadlocked {
+		t.Error("capacity 32 deadlocked")
+	}
+}
+
+// TestBoundedRejectsBadCapacity: zero or negative capacity is an error.
+func TestBoundedRejectsBadCapacity(t *testing.T) {
+	g := elwiseChainGraph(t, 2, 4)
+	if _, err := g.BoundedSelfTimed(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}

@@ -1,0 +1,327 @@
+// Package csdf implements Cyclo-Static DataFlow graphs (Bilsen et al.), the
+// model of computation the paper compares canonical task graphs against in
+// Section 7.2. The paper uses the external SDF3 and Kiter tools to compute
+// the optimal throughput of the converted graphs; here the equivalent result
+// is obtained with a self-timed (ASAP) execution engine, which is
+// throughput-optimal for consistent CSDF graphs, so the makespan-ratio
+// comparison of Figure 12 retains its meaning.
+//
+// An actor fires in a periodic sequence of phases; phase i consumes
+// Cons[i] tokens from every input edge and produces Prod[i] tokens to every
+// output edge, taking one time unit. Canonical task graphs without buffer
+// nodes convert one-to-one (FromCanonical): element-wise nodes get a single
+// (1,1) phase, a downsampler with rate 1/d gets d phases consuming one token
+// each and producing only on the last, an upsampler with rate m gets m
+// phases producing one token each and consuming only on the first.
+package csdf
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Actor is one CSDF node. Phases cycle: firing f uses phase f mod len.
+type Actor struct {
+	Name string
+	// Cons[i] and Prod[i] are the tokens consumed from every input edge and
+	// produced to every output edge by phase i. Slices must have equal
+	// length >= 1.
+	Cons, Prod []int64
+	// Firings is the number of firings of this actor in one graph
+	// iteration.
+	Firings int64
+}
+
+// ConsTotal returns the tokens consumed per full phase cycle.
+func (a Actor) ConsTotal() int64 { return sum(a.Cons) }
+
+// ProdTotal returns the tokens produced per full phase cycle.
+func (a Actor) ProdTotal() int64 { return sum(a.Prod) }
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Edge is a FIFO channel between two actors. Tokens denotes initial tokens.
+type Edge struct {
+	From, To graph.NodeID
+	Tokens   int64
+}
+
+// Graph is a CSDF graph over dense actor IDs.
+type Graph struct {
+	Actors []Actor
+	D      *graph.DAG // structure; volumes unused (rates live on actors)
+}
+
+// New returns an empty CSDF graph.
+func New() *Graph { return &Graph{D: graph.New()} }
+
+// AddActor appends an actor and returns its ID.
+func (g *Graph) AddActor(a Actor) graph.NodeID {
+	id := g.D.AddNode()
+	g.Actors = append(g.Actors, a)
+	return id
+}
+
+// Connect adds a channel from u to v.
+func (g *Graph) Connect(u, v graph.NodeID) error { return g.D.AddEdge(u, v, 1) }
+
+// FromCanonical converts a canonical task graph without buffer nodes into
+// the equivalent CSDF graph. Entry nodes (graph sources) become pure
+// producers with one token per firing, matching the paper's source model
+// where a source "directly outputs O(v) elements" without a production
+// rate.
+func FromCanonical(t *core.TaskGraph) (*Graph, error) {
+	g := New()
+	for v := 0; v < t.G.Len(); v++ {
+		n := t.Nodes[v]
+		id := graph.NodeID(v)
+		var a Actor
+		a.Name = n.Name
+		entry := t.G.InDegree(id) == 0
+
+		switch {
+		case n.Kind == core.Buffer:
+			return nil, fmt.Errorf("csdf: buffer nodes are not supported in CSDF graphs (node %d)", v)
+		case n.Kind == core.Source || (n.Kind == core.Compute && entry):
+			a.Cons = []int64{0}
+			a.Prod = []int64{1}
+			a.Firings = n.Out
+		case n.Kind == core.Sink:
+			a.Cons = []int64{1}
+			a.Prod = []int64{0}
+			a.Firings = n.In
+		case n.In == n.Out: // element-wise
+			a.Cons = []int64{1}
+			a.Prod = []int64{1}
+			a.Firings = n.In
+		case n.In > n.Out: // downsampler with integral factor d
+			if n.In%n.Out != 0 {
+				return nil, fmt.Errorf("csdf: node %d has non-integral downsampling %d/%d", v, n.In, n.Out)
+			}
+			d := n.In / n.Out
+			a.Cons = make([]int64, d)
+			a.Prod = make([]int64, d)
+			for i := range a.Cons {
+				a.Cons[i] = 1
+			}
+			a.Prod[d-1] = 1
+			a.Firings = n.In
+		default: // upsampler with integral factor m
+			if n.Out%n.In != 0 {
+				return nil, fmt.Errorf("csdf: node %d has non-integral upsampling %d/%d", v, n.Out, n.In)
+			}
+			m := n.Out / n.In
+			a.Cons = make([]int64, m)
+			a.Prod = make([]int64, m)
+			a.Cons[0] = 1
+			for i := range a.Prod {
+				a.Prod[i] = 1
+			}
+			a.Firings = n.Out
+		}
+		g.AddActor(a)
+	}
+	for _, e := range t.G.Edges() {
+		if err := g.Connect(e.From, e.To); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// RepetitionVector solves the balance equations of the graph: for every
+// edge (u,v), r[u] * prodPerCycle(u) = r[v] * consPerCycle(v), where one
+// entry counts full phase cycles. It returns the smallest positive integer
+// solution in firings (cycles * phases), or an error if the graph is
+// inconsistent or disconnected actors remain unconstrained.
+func (g *Graph) RepetitionVector() ([]int64, error) {
+	n := g.D.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	// Propagate rationals r[v] = num/den across undirected edges.
+	num := make([]int64, n)
+	den := make([]int64, n)
+	for v := 0; v < n; v++ {
+		num[v] = 0
+		den[v] = 1
+	}
+	var stack []graph.NodeID
+	for s := 0; s < n; s++ {
+		if num[s] != 0 {
+			continue
+		}
+		num[s], den[s] = 1, 1
+		stack = append(stack[:0], graph.NodeID(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			visit := func(w graph.NodeID, wNum, wDen int64) error {
+				wNum, wDen = normalize(wNum, wDen)
+				if num[w] == 0 {
+					num[w], den[w] = wNum, wDen
+					stack = append(stack, w)
+					return nil
+				}
+				if num[w]*wDen != wNum*den[w] {
+					return fmt.Errorf("csdf: inconsistent rates at actor %d", w)
+				}
+				return nil
+			}
+			for _, w := range g.D.Succs(u) {
+				// r[u]*prod(u) = r[w]*cons(w) -> r[w] = r[u]*prod(u)/cons(w)
+				p, c := g.Actors[u].ProdTotal(), g.Actors[w].ConsTotal()
+				if p == 0 || c == 0 {
+					continue // sink-like endpoint; unconstrained via this edge
+				}
+				if err := visit(w, num[u]*p, den[u]*c); err != nil {
+					return nil, err
+				}
+			}
+			for _, w := range g.D.Preds(u) {
+				p, c := g.Actors[w].ProdTotal(), g.Actors[u].ConsTotal()
+				if p == 0 || c == 0 {
+					continue
+				}
+				if err := visit(w, num[u]*c, den[u]*p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Scale to the least common multiple of denominators, reduce the cycle
+	// counts to the smallest integer solution, and convert to firings.
+	l := int64(1)
+	for v := 0; v < n; v++ {
+		l = lcm(l, den[v])
+	}
+	cycles := make([]int64, n)
+	d := int64(0)
+	for v := 0; v < n; v++ {
+		cycles[v] = num[v] * (l / den[v])
+		d = gcd(d, cycles[v])
+	}
+	r := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if d > 1 {
+			cycles[v] /= d
+		}
+		r[v] = cycles[v] * int64(len(g.Actors[v].Cons))
+	}
+	return r, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+func normalize(n, d int64) (int64, int64) {
+	g := gcd(n, d)
+	if g == 0 {
+		return n, d
+	}
+	return n / g, d / g
+}
+
+// SelfTimedMakespan runs one iteration of the (acyclic) CSDF graph under
+// self-timed execution: every actor has its own PE, fires as soon as its
+// tokens are available and its previous firing ended, and each firing takes
+// one time unit. With unbounded channels this yields the optimal makespan of
+// a single graph iteration; its inverse is the optimal throughput the paper
+// obtains from SDF3/Kiter.
+func (g *Graph) SelfTimedMakespan() (float64, error) {
+	topo, err := g.D.TopoOrder()
+	if err != nil {
+		return 0, fmt.Errorf("csdf: self-timed execution needs an acyclic graph: %w", err)
+	}
+	n := g.D.Len()
+
+	// end[v][f] is the end time of firing f of actor v (1-based times).
+	end := make([][]int64, n)
+	makespan := int64(0)
+	for _, v := range topo {
+		a := g.Actors[v]
+		if a.Firings == 0 {
+			continue
+		}
+		ends := make([]int64, a.Firings)
+
+		// For every input edge keep a cursor into the producer's firings
+		// and its cumulative production, advanced monotonically.
+		type cursor struct {
+			prodEnds  []int64
+			prodActor Actor
+			g, cum    int64 // firings consumed so far, tokens produced
+		}
+		var ins []*cursor
+		for _, u := range g.D.Preds(v) {
+			ins = append(ins, &cursor{prodEnds: end[u], prodActor: g.Actors[u]})
+		}
+
+		consumed := int64(0)
+		for f := int64(0); f < a.Firings; f++ {
+			phase := int(f % int64(len(a.Cons)))
+			need := a.Cons[phase]
+			consumed += need
+
+			ready := int64(0)
+			if f > 0 {
+				ready = ends[f-1]
+			}
+			for _, cur := range ins {
+				// Advance to the producer firing that makes `consumed`
+				// tokens available.
+				for cur.cum < consumed {
+					if cur.g >= int64(len(cur.prodEnds)) {
+						return 0, fmt.Errorf("csdf: actor %d starves on tokens (inconsistent graph)", v)
+					}
+					pPhase := int(cur.g % int64(len(cur.prodActor.Prod)))
+					cur.cum += cur.prodActor.Prod[pPhase]
+					cur.g++
+				}
+				if cur.g > 0 {
+					if t := cur.prodEnds[cur.g-1]; t > ready {
+						ready = t
+					}
+				}
+			}
+			ends[f] = ready + 1
+		}
+		end[v] = ends
+		if last := ends[len(ends)-1]; last > makespan {
+			makespan = last
+		}
+	}
+	return float64(makespan), nil
+}
+
+// Throughput returns iterations per time unit under self-timed execution of
+// single iterations (the inverse of the makespan), matching the paper's
+// setup where a sink-to-source back edge with one initial token serializes
+// iterations.
+func (g *Graph) Throughput() (float64, error) {
+	m, err := g.SelfTimedMakespan()
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("csdf: empty graph has no throughput")
+	}
+	return 1 / m, nil
+}

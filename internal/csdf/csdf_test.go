@@ -1,0 +1,188 @@
+package csdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schedule"
+	"repro/internal/synth"
+)
+
+// TestFromCanonicalFig9MatchesSchedule: the self-timed CSDF makespan equals
+// the streaming schedule on the reconvergent Figure 9 graph, confirming the
+// conversion preserves timing semantics.
+func TestFromCanonicalFig9MatchesSchedule(t *testing.T) {
+	tg := core.New()
+	n0 := tg.AddElementWise("t0", 32)
+	n1 := tg.AddCompute("t1", 32, 4)
+	n2 := tg.AddCompute("t2", 4, 2)
+	n3 := tg.AddCompute("t3", 2, 32)
+	n4 := tg.AddElementWise("t4", 32)
+	tg.MustConnect(n0, n1)
+	tg.MustConnect(n1, n2)
+	tg.MustConnect(n2, n3)
+	tg.MustConnect(n3, n4)
+	tg.MustConnect(n0, n4)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromCanonical(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.SelfTimedMakespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Schedule(tg, schedule.AllInOneBlock(tg), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != res.Makespan {
+		t.Errorf("CSDF makespan %g != streaming schedule makespan %g", m, res.Makespan)
+	}
+}
+
+// TestChainMakespan: an element-wise chain of n actors moving k tokens
+// finishes in k + n - 1 time units under self-timed execution.
+func TestChainMakespan(t *testing.T) {
+	const n, k = 8, 100
+	tg := core.New()
+	prev := tg.AddElementWise("t0", k)
+	for i := 1; i < n; i++ {
+		cur := tg.AddElementWise("t", k)
+		tg.MustConnect(prev, cur)
+		prev = cur
+	}
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromCanonical(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.SelfTimedMakespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != k+n-1 {
+		t.Errorf("makespan = %g, want %d", m, k+n-1)
+	}
+	th, err := g.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th != 1/float64(k+n-1) {
+		t.Errorf("throughput = %g, want %g", th, 1/float64(k+n-1))
+	}
+}
+
+// TestRepetitionVector: rate balance on a source -> downsampler pair.
+func TestRepetitionVector(t *testing.T) {
+	g := New()
+	src := g.AddActor(Actor{Name: "src", Cons: []int64{0}, Prod: []int64{1}, Firings: 32})
+	down := g.AddActor(Actor{Name: "down", Cons: []int64{1, 1, 1, 1, 1, 1, 1, 1},
+		Prod: []int64{0, 0, 0, 0, 0, 0, 0, 1}, Firings: 32})
+	if err := g.Connect(src, down); err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One iteration: the source fires 8 times per full downsampler cycle of
+	// 8 phases.
+	if r[src] != 8 || r[down] != 8 {
+		t.Errorf("repetition vector = %v, want [8 8]", r)
+	}
+}
+
+// TestRepetitionVectorInconsistent: mismatched rates around a reconvergence
+// are rejected.
+func TestRepetitionVectorInconsistent(t *testing.T) {
+	g := New()
+	a := g.AddActor(Actor{Cons: []int64{0}, Prod: []int64{1}})
+	b := g.AddActor(Actor{Cons: []int64{1}, Prod: []int64{2}})
+	c := g.AddActor(Actor{Cons: []int64{1}, Prod: []int64{3}})
+	d := g.AddActor(Actor{Cons: []int64{1}, Prod: []int64{0}})
+	for _, e := range [][2]int{{int(a), int(b)}, {int(a), int(c)}, {int(b), int(d)}, {int(c), int(d)}} {
+		if err := g.D.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.RepetitionVector(); err == nil {
+		t.Error("expected inconsistency error, got nil")
+	}
+}
+
+// TestBufferNodesRejected: CSDF graphs cannot express buffer nodes.
+func TestBufferNodesRejected(t *testing.T) {
+	tg := core.New()
+	a := tg.AddElementWise("a", 8)
+	b := tg.AddBuffer("b", 8, 8)
+	tg.MustConnect(a, b)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromCanonical(tg); err == nil {
+		t.Error("expected buffer rejection, got nil")
+	}
+}
+
+// TestHeuristicNearOptimal mirrors Figure 12 (right): with as many PEs as
+// tasks, the SB-RLX streaming schedule is within a small factor of the
+// self-timed CSDF optimum, and never better than it by more than rounding.
+func TestHeuristicNearOptimal(t *testing.T) {
+	cfg := synth.SmallConfig()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for name, tg := range map[string]*core.TaskGraph{
+			"chain":    synth.Chain(8, rng, cfg),
+			"gaussian": synth.Gaussian(8, rng, cfg),
+			"cholesky": synth.Cholesky(6, rng, cfg),
+			"fft":      synth.FFT(16, rng, cfg),
+		} {
+			g, err := FromCanonical(tg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := g.SelfTimedMakespan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := tg.NumComputeNodes()
+			part, err := schedule.PartitionRLX(tg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := schedule.Schedule(tg, part, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := res.Makespan / opt
+			if ratio < 0.95 || ratio > 1.5 {
+				t.Errorf("%s seed %d: makespan ratio %.3f outside [0.95, 1.5] (sched %g, csdf %g)",
+					name, seed, ratio, res.Makespan, opt)
+			}
+		}
+	}
+}
+
+// TestThroughputPositive: sanity on the reported throughput.
+func TestThroughputPositive(t *testing.T) {
+	tg := synth.Chain(4, rand.New(rand.NewSource(1)), synth.SmallConfig())
+	g, err := FromCanonical(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := g.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0 || math.IsInf(th, 0) {
+		t.Errorf("throughput = %g", th)
+	}
+}

@@ -1,0 +1,432 @@
+// Package desim is a deterministic, element-level discrete-event simulator
+// for scheduled canonical task graphs, mirroring the simpy-based validation
+// of Appendix B of the paper. It checks that
+//
+//   - the computed FIFO buffer space suffices (the simulation does not
+//     deadlock), and
+//   - the steady-state analysis predicts a realistic makespan (the relative
+//     error between the scheduled and the simulated makespan is small).
+//
+// Semantics: time advances in unit cycles. Within a spatial block every
+// computational task owns a PE and executes one micro-action per cycle
+// (consume one element from every input, and/or produce one element to every
+// output, paced by its production rate). Streaming edges are bounded FIFOs
+// with blocking-after-service semantics; all other edges go through global
+// memory (available once the producer finished, readable one element per
+// cycle). Spatial blocks run back to back: block i starts once every task of
+// block i-1 has finished.
+//
+// Tasks are evaluated in reverse topological order within a cycle, so a
+// consumer's pop frees space that its producer can use in the same cycle;
+// this makes depth-1 FIFOs bubble-free on rate-matched edges and matches the
+// first-out/last-out recurrences of Section 5.1 exactly on the paper's
+// worked examples.
+package desim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schedule"
+)
+
+// Config controls the simulation.
+type Config struct {
+	// FIFOCap is the per-streaming-edge capacity, usually the output of
+	// buffers.Sizes. Edges not present fall back to DefaultCap.
+	FIFOCap map[[2]graph.NodeID]int64
+	// DefaultCap is the capacity of streaming edges missing from FIFOCap.
+	// Zero means 1.
+	DefaultCap int64
+	// MaxCycles aborts runaway simulations. Zero means 100 million.
+	MaxCycles int64
+}
+
+// Stats reports the outcome of a simulation.
+type Stats struct {
+	// Makespan is the simulated schedule length in cycles.
+	Makespan float64
+	// Finish[v] is the cycle at which node v performed its last action.
+	Finish []float64
+	// Deadlocked is set when the simulation wedged with unfinished tasks.
+	Deadlocked bool
+	// DeadlockCycle is the cycle at which the wedge was detected.
+	DeadlockCycle int64
+	// Cycles is the total number of simulated cycles.
+	Cycles int64
+}
+
+// RelativeError returns (simulated - scheduled) / scheduled: negative when
+// the scheduling makespan overestimates the simulated one, as plotted in
+// Figure 13.
+func (s *Stats) RelativeError(scheduled float64) float64 {
+	if scheduled == 0 {
+		return math.Inf(1)
+	}
+	return (s.Makespan - scheduled) / scheduled
+}
+
+// edgeKind classifies how data moves across one edge.
+type edgeKind uint8
+
+const (
+	fifoEdge   edgeKind = iota // bounded streaming FIFO
+	memoryEdge                 // through global memory (cross-block or buffer)
+)
+
+// edgeState is the runtime state of one edge.
+type edgeState struct {
+	kind edgeKind
+	from graph.NodeID
+	to   graph.NodeID
+	vol  int64
+
+	// FIFO state: occupancy and capacity.
+	occ, cap int64
+
+	// Memory state: how many elements the producer has deposited, when the
+	// deposit completed (whole-edge readiness for buffered semantics), and
+	// how many the consumer has taken.
+	written  int64
+	ready    int64 // cycle after which the consumer may start reading; -1 = not ready
+	consumed int64
+}
+
+// taskState is the runtime state of one node.
+type taskState struct {
+	id       graph.NodeID
+	node     core.Node
+	inEdges  []*edgeState
+	outEdges []*edgeState
+	c, p     int64 // consumed per input edge, produced per output edge
+	done     bool
+	finish   int64
+	active   bool // participates in the per-cycle loop (buffers do not)
+}
+
+// Simulate runs the schedule through the simulator.
+func Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*Stats, error) {
+	if cfg.DefaultCap <= 0 {
+		cfg.DefaultCap = 1
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 100_000_000
+	}
+
+	n := t.G.Len()
+	stats := &Stats{Finish: make([]float64, n)}
+
+	// Build edge states.
+	edges := make(map[[2]graph.NodeID]*edgeState, t.G.NumEdges())
+	for _, e := range t.G.Edges() {
+		es := &edgeState{from: e.From, to: e.To, vol: e.Volume, ready: -1}
+		if r.Partition.Streaming(t, e.From, e.To) {
+			es.kind = fifoEdge
+			es.cap = cfg.DefaultCap
+			if c, ok := cfg.FIFOCap[[2]graph.NodeID{e.From, e.To}]; ok && c > 0 {
+				es.cap = c
+			}
+		} else {
+			es.kind = memoryEdge
+		}
+		edges[[2]graph.NodeID{e.From, e.To}] = es
+	}
+
+	tasks := make([]*taskState, n)
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		ts := &taskState{id: id, node: t.Nodes[v], finish: -1}
+		for _, u := range t.G.Preds(id) {
+			ts.inEdges = append(ts.inEdges, edges[[2]graph.NodeID{u, id}])
+		}
+		for _, w := range t.G.Succs(id) {
+			ts.outEdges = append(ts.outEdges, edges[[2]graph.NodeID{id, w}])
+		}
+		ts.active = t.Nodes[v].Kind != core.Buffer
+		tasks[v] = ts
+	}
+
+	// Buffers are passive: track the set of edges feeding each one so its
+	// readiness can be derived from producer completion.
+	bufFillReady := make(map[graph.NodeID]int64, 4)
+
+	topo := t.G.Topo()
+	cycle := int64(0)
+	for bi, blk := range r.Partition.Blocks {
+		start, err := simulateBlock(t, blk, tasks, topo, cycle, cfg.MaxCycles, bufFillReady, stats)
+		if err != nil {
+			return stats, fmt.Errorf("desim: block %d: %w", bi, err)
+		}
+		if stats.Deadlocked {
+			return stats, nil
+		}
+		cycle = start
+	}
+	stats.Cycles = cycle
+	stats.Makespan = 0
+	for v := 0; v < n; v++ {
+		if f := stats.Finish[v]; f > stats.Makespan {
+			stats.Makespan = f
+		}
+	}
+	return stats, nil
+}
+
+// simulateBlock runs one spatial block to completion, starting at cycle
+// blockStart, and returns the barrier time for the next block.
+func simulateBlock(t *core.TaskGraph, blk schedule.Block, tasks []*taskState, topo []graph.NodeID,
+	blockStart, maxCycles int64, bufFillReady map[graph.NodeID]int64, stats *Stats) (int64, error) {
+
+	inBlk := make(map[graph.NodeID]bool, len(blk.Nodes))
+	for _, v := range blk.Nodes {
+		inBlk[v] = true
+	}
+
+	// Reverse topological order restricted to the block: consumers first.
+	var order []*taskState
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		if inBlk[v] && tasks[v].active {
+			order = append(order, tasks[v])
+		}
+	}
+	var bufs []*taskState
+	for _, v := range blk.Nodes {
+		if !tasks[v].active {
+			bufs = append(bufs, tasks[v])
+		}
+	}
+
+	// resolveBufs marks passive buffers ready once every producer deposited
+	// all of its data; consumers can start reading the following cycle.
+	resolveBufs := func(now int64) bool {
+		progress := false
+		for _, b := range bufs {
+			if _, ok := bufFillReady[b.id]; ok {
+				continue
+			}
+			filled := true
+			last := now
+			for _, e := range b.inEdges {
+				if e.written < e.vol {
+					filled = false
+					break
+				}
+				if e.ready > last {
+					last = e.ready
+				}
+			}
+			if filled {
+				bufFillReady[b.id] = last
+				stats.Finish[b.id] = float64(last)
+				for _, e := range b.outEdges {
+					e.written = e.vol
+					// The buffer head spends a cycle emitting the first
+					// element (FO(buffer) = fill + 1 in Section 5.1), so
+					// consumers see data one cycle after the fill.
+					e.ready = last + 1
+				}
+				progress = true
+			}
+		}
+		return progress
+	}
+
+	pending := len(order)
+	for _, ts := range order {
+		if taskDone(ts) {
+			ts.done = true
+			pending--
+		}
+	}
+	resolveBufs(blockStart) // buffers fed entirely by earlier blocks
+
+	cycle := blockStart
+	for pending > 0 {
+		cycle++
+		if cycle-blockStart > maxCycles {
+			return cycle, fmt.Errorf("exceeded %d cycles", maxCycles)
+		}
+		progress := false
+		for _, ts := range order {
+			if ts.done {
+				continue
+			}
+			if step(ts, cycle) {
+				progress = true
+				ts.finish = cycle
+				if taskDone(ts) {
+					ts.done = true
+					stats.Finish[ts.id] = float64(ts.finish)
+					pending--
+				}
+			}
+		}
+		if resolveBufs(cycle) {
+			progress = true
+		}
+		if !progress {
+			// A quiet cycle is not a deadlock if some pending task waits on
+			// a memory edge that becomes readable later; fast-forward to it.
+			wake := int64(math.MaxInt64)
+			for _, ts := range order {
+				if ts.done {
+					continue
+				}
+				for _, e := range ts.inEdges {
+					if e.kind == memoryEdge && e.ready >= cycle && e.consumed < e.written {
+						if e.ready < wake {
+							wake = e.ready
+						}
+					}
+				}
+			}
+			if wake == math.MaxInt64 {
+				stats.Deadlocked = true
+				stats.DeadlockCycle = cycle
+				return cycle, nil
+			}
+			cycle = wake // readable from wake+1; loop increments
+		}
+	}
+	resolveBufs(cycle) // buffers completed by this block's last writes
+
+	// Barrier: next block starts once every task of this block finished.
+	end := blockStart
+	for _, ts := range order {
+		if ts.finish > end {
+			end = ts.finish
+		}
+	}
+	for _, b := range bufs {
+		if r, ok := bufFillReady[b.id]; ok && r > end {
+			// A buffer only delays the barrier if it is still filling, which
+			// cannot happen once all block tasks finished; kept for safety.
+			end = r
+		}
+	}
+	return end, nil
+}
+
+// taskDone reports whether the node has consumed and produced everything.
+func taskDone(ts *taskState) bool {
+	switch ts.node.Kind {
+	case core.Source:
+		return ts.p >= ts.node.Out
+	case core.Sink:
+		return ts.c >= ts.node.In
+	default:
+		needIn := ts.node.In
+		if len(ts.inEdges) == 0 {
+			needIn = 0 // entry task: its reads are folded into its write pace
+		}
+		// Exit tasks still "emit" all outputs (to memory) to account their
+		// time, so the full Out count is always required.
+		return ts.c >= needIn && ts.p >= ts.node.Out
+	}
+}
+
+// step attempts the task's micro-action for this cycle and reports whether
+// anything happened. Reads consume from every input edge simultaneously;
+// writes produce to every output edge simultaneously. The production rate
+// paces reads: the task reads only when the next output needs more input,
+// which reproduces the steady-state ingestion interval S_i = S_o * R.
+func step(ts *taskState, cycle int64) bool {
+	in, out := ts.node.In, ts.node.Out
+	if ts.node.Kind == core.Source || len(ts.inEdges) == 0 && ts.node.Kind != core.Sink {
+		// Pure producer (explicit source or entry task): one element per
+		// cycle to every output, subject to space.
+		if ts.p < out && canWrite(ts) {
+			doWrite(ts, cycle)
+			return true
+		}
+		return false
+	}
+	if ts.node.Kind == core.Sink || len(ts.outEdges) == 0 && out == 0 {
+		if ts.c < in && canRead(ts, cycle) {
+			doRead(ts)
+			return true
+		}
+		return false
+	}
+
+	acted := false
+	// Read when the next output still needs input: to produce element p+1
+	// the task must have consumed ceil((p+1)*in/out) elements.
+	if ts.c < in {
+		needed := ceilDiv((ts.p+1)*in, out)
+		if ts.p >= out {
+			needed = in // drain the remaining inputs
+		}
+		if ts.c < needed && canRead(ts, cycle) {
+			doRead(ts)
+			acted = true
+		}
+	}
+	// Write when enough input credit accumulated: element p+1 requires
+	// c*out >= (p+1)*in.
+	if ts.p < out && ts.c*out >= (ts.p+1)*in && canWrite(ts) {
+		doWrite(ts, cycle)
+		acted = true
+	}
+	return acted
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// canRead reports whether one element is available on every input edge.
+func canRead(ts *taskState, cycle int64) bool {
+	for _, e := range ts.inEdges {
+		switch e.kind {
+		case fifoEdge:
+			if e.occ < 1 {
+				return false
+			}
+		case memoryEdge:
+			if e.ready < 0 || cycle <= e.ready || e.consumed >= e.written {
+				return false
+			}
+		}
+	}
+	return len(ts.inEdges) > 0
+}
+
+func doRead(ts *taskState) {
+	for _, e := range ts.inEdges {
+		switch e.kind {
+		case fifoEdge:
+			e.occ--
+		case memoryEdge:
+			e.consumed++
+		}
+	}
+	ts.c++
+}
+
+// canWrite reports whether one element fits on every output edge. Memory
+// edges never block (blocking-after-service applies to FIFO channels only).
+func canWrite(ts *taskState) bool {
+	for _, e := range ts.outEdges {
+		if e.kind == fifoEdge && e.occ >= e.cap {
+			return false
+		}
+	}
+	return true
+}
+
+func doWrite(ts *taskState, cycle int64) {
+	for _, e := range ts.outEdges {
+		switch e.kind {
+		case fifoEdge:
+			e.occ++
+		case memoryEdge:
+			e.written++
+			if e.written >= e.vol {
+				e.ready = cycle // fully deposited; readable next cycle
+			}
+		}
+	}
+	ts.p++
+}

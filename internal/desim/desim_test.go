@@ -1,0 +1,248 @@
+package desim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/buffers"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schedule"
+	"repro/internal/synth"
+)
+
+func schedAll(t *testing.T, tg *core.TaskGraph) *schedule.Result {
+	t.Helper()
+	if !tg.G.Frozen() {
+		if err := tg.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := tg.NumComputeNodes()
+	if p == 0 {
+		p = 1
+	}
+	r, err := schedule.Schedule(tg, schedule.AllInOneBlock(tg), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func simulate(t *testing.T, tg *core.TaskGraph, r *schedule.Result, caps map[[2]graph.NodeID]int64) *Stats {
+	t.Helper()
+	st, err := Simulate(tg, r, Config{FIFOCap: caps})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return st
+}
+
+// TestChainExact: an element-wise chain with unit FIFOs matches the
+// analytical makespan exactly (k + n - 1).
+func TestChainExact(t *testing.T) {
+	const n, k = 8, 100
+	tg := core.New()
+	prev := tg.AddElementWise("t0", k)
+	for i := 1; i < n; i++ {
+		cur := tg.AddElementWise("t", k)
+		tg.MustConnect(prev, cur)
+		prev = cur
+	}
+	r := schedAll(t, tg)
+	st := simulate(t, tg, r, buffers.SizeMap(tg, r))
+	if st.Deadlocked {
+		t.Fatalf("deadlock at cycle %d", st.DeadlockCycle)
+	}
+	if st.Makespan != r.Makespan {
+		t.Errorf("simulated %g != scheduled %g", st.Makespan, r.Makespan)
+	}
+	if st.Makespan != k+n-1 {
+		t.Errorf("makespan = %g, want %d", st.Makespan, k+n-1)
+	}
+}
+
+func fig9Graph1() *core.TaskGraph {
+	tg := core.New()
+	n0 := tg.AddElementWise("t0", 32)
+	n1 := tg.AddCompute("t1", 32, 4)
+	n2 := tg.AddCompute("t2", 4, 2)
+	n3 := tg.AddCompute("t3", 2, 32)
+	n4 := tg.AddElementWise("t4", 32)
+	tg.MustConnect(n0, n1)
+	tg.MustConnect(n1, n2)
+	tg.MustConnect(n2, n3)
+	tg.MustConnect(n3, n4)
+	tg.MustConnect(n0, n4)
+	return tg
+}
+
+// TestBufferSpaceFig9SufficientNoDeadlock: the Equation 5 sizes keep the
+// Figure 9 graph deadlock- and bubble-free, landing on the scheduled
+// makespan.
+func TestBufferSpaceFig9SufficientNoDeadlock(t *testing.T) {
+	tg := fig9Graph1()
+	r := schedAll(t, tg)
+	st := simulate(t, tg, r, buffers.SizeMap(tg, r))
+	if st.Deadlocked {
+		t.Fatalf("deadlock at cycle %d with computed buffer sizes", st.DeadlockCycle)
+	}
+	if math.Abs(st.RelativeError(r.Makespan)) > 0.05 {
+		t.Errorf("relative error %.3f too large (sim %g vs sched %g)",
+			st.RelativeError(r.Makespan), st.Makespan, r.Makespan)
+	}
+}
+
+// TestBufferSpaceFig9InsufficientDeadlocks: shrinking the (0,4) channel
+// below the amount the left path needs before producing its first element
+// wedges the pipeline, the failure mode described in Section 6.
+func TestBufferSpaceFig9InsufficientDeadlocks(t *testing.T) {
+	tg := fig9Graph1()
+	r := schedAll(t, tg)
+	caps := buffers.SizeMap(tg, r)
+	caps[[2]graph.NodeID{0, 4}] = 8 // left path needs 16 elements of task 0 first
+	st := simulate(t, tg, r, caps)
+	if !st.Deadlocked {
+		t.Fatalf("expected deadlock with undersized FIFO, simulation finished at %g", st.Makespan)
+	}
+}
+
+// TestFig9Graph2MatchesSchedule: the two-source join of Figure 9 graph 2
+// runs to the scheduled makespan with the computed sizes.
+func TestFig9Graph2MatchesSchedule(t *testing.T) {
+	tg := core.New()
+	n0 := tg.AddElementWise("t0", 32)
+	n1 := tg.AddCompute("t1", 32, 1)
+	n2 := tg.AddCompute("t2", 1, 32)
+	n3 := tg.AddElementWise("t3", 32)
+	n4 := tg.AddElementWise("t4", 32)
+	n5 := tg.AddElementWise("t5", 32)
+	tg.MustConnect(n0, n1)
+	tg.MustConnect(n1, n2)
+	tg.MustConnect(n2, n5)
+	tg.MustConnect(n3, n4)
+	tg.MustConnect(n4, n5)
+	r := schedAll(t, tg)
+	st := simulate(t, tg, r, buffers.SizeMap(tg, r))
+	if st.Deadlocked {
+		t.Fatalf("deadlock at cycle %d", st.DeadlockCycle)
+	}
+	if math.Abs(st.RelativeError(r.Makespan)) > 0.05 {
+		t.Errorf("relative error %.3f (sim %g vs sched %g)",
+			st.RelativeError(r.Makespan), st.Makespan, r.Makespan)
+	}
+}
+
+// TestBufferNodeBlocksPipelining: a buffer in the middle of a chain forces
+// the consumer side to start only after the producer side finished.
+func TestBufferNodeBlocksPipelining(t *testing.T) {
+	const k = 64
+	tg := core.New()
+	a := tg.AddElementWise("a", k)
+	b := tg.AddBuffer("buf", k, k)
+	c := tg.AddElementWise("c", k)
+	tg.MustConnect(a, b)
+	tg.MustConnect(b, c)
+	r := schedAll(t, tg)
+	st := simulate(t, tg, r, buffers.SizeMap(tg, r))
+	if st.Deadlocked {
+		t.Fatal("deadlock")
+	}
+	// a finishes at k; the buffer head starts emitting the next cycle, so c
+	// reads k elements and finishes at 2k+1, matching LO(c).
+	if st.Finish[a] != k || st.Finish[c] != 2*k+1 {
+		t.Errorf("finish a=%g c=%g, want %d and %d", st.Finish[a], st.Finish[c], k, 2*k+1)
+	}
+	if st.Makespan != r.Makespan {
+		t.Errorf("simulated %g != scheduled %g", st.Makespan, r.Makespan)
+	}
+}
+
+// TestCrossBlockBarrier: the second block starts only after the first
+// completed, and the simulation agrees with the scheduled makespan.
+func TestCrossBlockBarrier(t *testing.T) {
+	const k = 64
+	tg := core.New()
+	a := tg.AddElementWise("a", k)
+	b := tg.AddElementWise("b", k)
+	c := tg.AddElementWise("c", k)
+	d := tg.AddElementWise("d", k)
+	tg.MustConnect(a, b)
+	tg.MustConnect(b, c)
+	tg.MustConnect(c, d)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	part := schedule.Partition{
+		Blocks: []schedule.Block{
+			{Nodes: []graph.NodeID{a, b}, ComputeCount: 2},
+			{Nodes: []graph.NodeID{c, d}, ComputeCount: 2},
+		},
+		BlockOf: []int{0, 0, 1, 1},
+	}
+	r, err := schedule.Schedule(tg, part, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := simulate(t, tg, r, buffers.SizeMap(tg, r))
+	if st.Deadlocked {
+		t.Fatal("deadlock")
+	}
+	if st.Finish[c] <= st.Finish[b] {
+		t.Errorf("block 1 (%g) did not wait for block 0 (%g)", st.Finish[c], st.Finish[b])
+	}
+	if st.Makespan != r.Makespan {
+		t.Errorf("simulated %g != scheduled %g", st.Makespan, r.Makespan)
+	}
+}
+
+// TestSyntheticValidation mirrors Appendix B / Figure 13: across random
+// synthetic graphs, simulation with the computed buffer sizes never
+// deadlocks, and the median relative error between scheduled and simulated
+// makespan is (close to) zero.
+func TestSyntheticValidation(t *testing.T) {
+	cfg := synth.SmallConfig()
+	type gen struct {
+		name  string
+		build func(rng *rand.Rand) *core.TaskGraph
+		pes   int
+	}
+	gens := []gen{
+		{"chain", func(r *rand.Rand) *core.TaskGraph { return synth.Chain(8, r, cfg) }, 4},
+		{"fft", func(r *rand.Rand) *core.TaskGraph { return synth.FFT(16, r, cfg) }, 32},
+		{"gaussian", func(r *rand.Rand) *core.TaskGraph { return synth.Gaussian(8, r, cfg) }, 16},
+		{"cholesky", func(r *rand.Rand) *core.TaskGraph { return synth.Cholesky(6, r, cfg) }, 16},
+	}
+	for _, g := range gens {
+		t.Run(g.name, func(t *testing.T) {
+			var errs []float64
+			for seed := int64(0); seed < 15; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				tg := g.build(rng)
+				for _, variant := range []schedule.Variant{schedule.SBLTS, schedule.SBRLX} {
+					part, err := schedule.Algorithm1(tg, g.pes, schedule.Options{Variant: variant})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := schedule.Schedule(tg, part, g.pes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					st := simulate(t, tg, res, buffers.SizeMap(tg, res))
+					if st.Deadlocked {
+						t.Fatalf("seed %d %v: deadlock at cycle %d", seed, variant, st.DeadlockCycle)
+					}
+					errs = append(errs, st.RelativeError(res.Makespan))
+				}
+			}
+			sort.Float64s(errs)
+			median := errs[len(errs)/2]
+			if math.Abs(median) > 0.10 {
+				t.Errorf("median relative error %.3f, want |median| <= 0.10 (min %.3f max %.3f)",
+					median, errs[0], errs[len(errs)-1])
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/buffers"
+	"repro/internal/core"
+	"repro/internal/desim"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// diamondTopology builds randomized instances of the Figure 9 pattern: a
+// source fans out into a direct edge and a reducing-then-expanding path that
+// reconverge at a join. The reduction must accumulate before it emits, so
+// unit FIFOs on the direct edge wedge the pipeline — the failure mode
+// Equation 5 exists to prevent. The paper's synthetic families have
+// delay-balanced joins and rarely trigger it, so the ablation adds this
+// family explicitly.
+func diamondTopology() Topology {
+	return Topology{
+		Name: "Reconvergent diamond", Tasks: 5, PEs: []int{5},
+		Build: func(rng *rand.Rand, cfg synth.Config) *core.TaskGraph {
+			w := int64(16) << rng.Intn(3) // 16, 32, or 64
+			d := int64(4) << rng.Intn(3)  // reduction factor 4, 8, or 16
+			if d >= w {
+				d = w / 2
+			}
+			tg := core.New()
+			src := tg.AddElementWise("src", w)
+			down := tg.AddCompute("down", w, w/d)
+			mid := tg.AddElementWise("mid", w/d)
+			up := tg.AddCompute("up", w/d, w)
+			join := tg.AddElementWise("join", w)
+			tg.MustConnect(src, down)
+			tg.MustConnect(down, mid)
+			tg.MustConnect(mid, up)
+			tg.MustConnect(up, join)
+			tg.MustConnect(src, join)
+			if err := tg.Freeze(); err != nil {
+				panic(err)
+			}
+			return tg
+		},
+	}
+}
+
+// AblationBuffers quantifies what the Section 6 analysis buys: every
+// synthetic graph is simulated once with the Equation 5 FIFO sizes and once
+// with unit FIFOs everywhere. Unit FIFOs either deadlock the block (the
+// Figure 9 failure) or stall producers into a longer makespan; the table
+// reports the deadlock rate and the slowdown distribution of the runs that
+// survive.
+func AblationBuffers(w io.Writer, opt Options) {
+	fmt.Fprintf(w, "== Ablation: Equation 5 buffer sizing vs unit FIFOs (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range append(Topologies(), diamondTopology()) {
+		p := topo.PEs[len(topo.PEs)/2]
+		var slowdowns []float64
+		deadlocks, runs := 0, 0
+		for g := 0; g < opt.Graphs; g++ {
+			rng := rand.New(rand.NewSource(opt.Seed + int64(g)))
+			tg := topo.Build(rng, opt.Config)
+			part, err := schedule.PartitionLTS(tg, p)
+			if err != nil {
+				panic(err)
+			}
+			res, err := schedule.Schedule(tg, part, p)
+			if err != nil {
+				panic(err)
+			}
+			sized, err := desim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+			if err != nil {
+				panic(err)
+			}
+			if sized.Deadlocked {
+				panic("sized simulation deadlocked") // Figure 13 guarantees it cannot
+			}
+			unit, err := desim.Simulate(tg, res, desim.Config{DefaultCap: 1})
+			if err != nil {
+				panic(err)
+			}
+			runs++
+			if unit.Deadlocked {
+				deadlocks++
+				continue
+			}
+			slowdowns = append(slowdowns, unit.Makespan/sized.Makespan)
+		}
+		fmt.Fprintf(w, "%s (#Tasks = %d, P = %d)\n", topo.Name, topo.Tasks, p)
+		fmt.Fprintf(w, "  unit FIFOs deadlock %d/%d graphs\n", deadlocks, runs)
+		if len(slowdowns) > 0 {
+			s := stats.Summarize(slowdowns)
+			fmt.Fprintf(w, "  survivors run %.2fx slower (median; max %.2fx)\n", s.Median, s.Max)
+		}
+		fmt.Fprintln(w)
+	}
+}

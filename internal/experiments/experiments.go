@@ -1,0 +1,363 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7 and Appendix B) on the Go reimplementation:
+//
+//	Figure 10  speedup distributions, streaming vs non-streaming
+//	Figure 11  streaming SLR distributions
+//	Figure 12  scheduling time and makespan ratio vs the CSDF engine
+//	Figure 13  relative error of the discrete-event validation
+//	Table 2    ResNet-50 and transformer-encoder speedups
+//
+// Each experiment prints the same rows/series the paper reports, with
+// box-plot summaries standing in for the plots. Randomness is seeded, so
+// every run is reproducible.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/buffers"
+	"repro/internal/core"
+	"repro/internal/csdf"
+	"repro/internal/desim"
+	"repro/internal/onnx"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Options bounds an experiment run.
+type Options struct {
+	// Graphs is the number of random task graphs per topology (the paper
+	// uses 100).
+	Graphs int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Config bounds the random volumes of the synthetic generators.
+	Config synth.Config
+}
+
+// Defaults mirrors the paper's setup: 100 random graphs per topology.
+func Defaults() Options {
+	return Options{Graphs: 100, Seed: 1, Config: synth.DefaultConfig()}
+}
+
+// Quick is a reduced setting for smoke tests and benchmarks.
+func Quick() Options {
+	return Options{Graphs: 15, Seed: 1, Config: synth.SmallConfig()}
+}
+
+// Topology is one synthetic workload family of Figure 10.
+type Topology struct {
+	Name  string
+	Tasks int
+	PEs   []int
+	Build func(rng *rand.Rand, cfg synth.Config) *core.TaskGraph
+}
+
+// Topologies returns the four families with the paper's sizes and PE
+// sweeps: Chain with 8 tasks on 2-8 PEs; FFT (223 tasks), Gaussian
+// elimination (135), and Cholesky factorization (120) on 32-128 PEs.
+func Topologies() []Topology {
+	return []Topology{
+		{
+			Name: "Chain", Tasks: 8, PEs: []int{2, 4, 6, 8},
+			Build: func(rng *rand.Rand, cfg synth.Config) *core.TaskGraph { return synth.Chain(8, rng, cfg) },
+		},
+		{
+			Name: "FFT", Tasks: 223, PEs: []int{32, 64, 96, 128},
+			Build: func(rng *rand.Rand, cfg synth.Config) *core.TaskGraph { return synth.FFT(32, rng, cfg) },
+		},
+		{
+			Name: "Gaussian Elimination", Tasks: 135, PEs: []int{32, 64, 96, 128},
+			Build: func(rng *rand.Rand, cfg synth.Config) *core.TaskGraph { return synth.Gaussian(16, rng, cfg) },
+		},
+		{
+			Name: "Cholesky Factorization", Tasks: 120, PEs: []int{32, 64, 96, 128},
+			Build: func(rng *rand.Rand, cfg synth.Config) *core.TaskGraph { return synth.Cholesky(8, rng, cfg) },
+		},
+	}
+}
+
+// SweepPoint aggregates one (topology, PE count) cell of Figures 10/11/13.
+type SweepPoint struct {
+	PEs                        int
+	SpeedupLTS, SpeedupRLX     []float64
+	SpeedupNSTR                []float64
+	SSLRLTS, SSLRRLX           []float64
+	UtilLTS, UtilRLX, UtilNSTR []float64
+	ErrLTS, ErrRLX             []float64 // desim relative error (Figure 13)
+	Deadlocks                  int
+}
+
+// RunSweep evaluates one topology across its PE counts. When simulate is
+// true, the Appendix B discrete-event validation also runs (Figure 13).
+func RunSweep(topo Topology, opt Options, simulate bool) []SweepPoint {
+	points := make([]SweepPoint, len(topo.PEs))
+	for i, p := range topo.PEs {
+		points[i].PEs = p
+	}
+	for g := 0; g < opt.Graphs; g++ {
+		rng := rand.New(rand.NewSource(opt.Seed + int64(g)))
+		tg := topo.Build(rng, opt.Config)
+		depth := schedule.StreamingDepth(tg) // shared by every SSLR below
+		for i, p := range topo.PEs {
+			pt := &points[i]
+
+			for _, variant := range []schedule.Variant{schedule.SBLTS, schedule.SBRLX} {
+				part, err := schedule.Algorithm1(tg, p, schedule.Options{Variant: variant})
+				if err != nil {
+					panic(err)
+				}
+				res, err := schedule.Schedule(tg, part, p)
+				if err != nil {
+					panic(err)
+				}
+				sp, sslr, util := res.Speedup(tg), res.Makespan/depth, res.Utilization(tg, p)
+				var simErr float64
+				if simulate {
+					st, err := desim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+					if err != nil {
+						panic(err)
+					}
+					if st.Deadlocked {
+						pt.Deadlocks++
+					} else {
+						simErr = st.RelativeError(res.Makespan)
+					}
+				}
+				if variant == schedule.SBLTS {
+					pt.SpeedupLTS = append(pt.SpeedupLTS, sp)
+					pt.SSLRLTS = append(pt.SSLRLTS, sslr)
+					pt.UtilLTS = append(pt.UtilLTS, util)
+					if simulate {
+						pt.ErrLTS = append(pt.ErrLTS, simErr*100)
+					}
+				} else {
+					pt.SpeedupRLX = append(pt.SpeedupRLX, sp)
+					pt.SSLRRLX = append(pt.SSLRRLX, sslr)
+					pt.UtilRLX = append(pt.UtilRLX, util)
+					if simulate {
+						pt.ErrRLX = append(pt.ErrRLX, simErr*100)
+					}
+				}
+			}
+
+			nstr, err := baseline.Schedule(tg, p, baseline.Options{Insertion: true})
+			if err != nil {
+				panic(err)
+			}
+			pt.SpeedupNSTR = append(pt.SpeedupNSTR, nstr.Speedup(tg))
+			pt.UtilNSTR = append(pt.UtilNSTR, nstr.Utilization(tg))
+		}
+	}
+	return points
+}
+
+// Fig10 prints the speedup distributions of streaming (STR-SCH-1/2) and
+// non-streaming (NSTR-SCH) scheduling with PE utilization, one table per
+// topology.
+func Fig10(w io.Writer, opt Options) {
+	fmt.Fprintf(w, "== Figure 10: speedup over sequential execution (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		points := RunSweep(topo, opt, false)
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s %8s  %s\n",
+			"PEs", "scheduler", "Q1", "median", "Q3", "mean", "PE util (mean)")
+		for _, pt := range points {
+			rows := []struct {
+				name string
+				sp   []float64
+				util []float64
+			}{
+				{"STR-SCH-1", pt.SpeedupLTS, pt.UtilLTS},
+				{"STR-SCH-2", pt.SpeedupRLX, pt.UtilRLX},
+				{"NSTR-SCH", pt.SpeedupNSTR, pt.UtilNSTR},
+			}
+			for _, r := range rows {
+				s := stats.Summarize(r.sp)
+				u := stats.Summarize(r.util)
+				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f %8.2f  %.0f%%\n",
+					pt.PEs, r.name, s.Q1, s.Median, s.Q3, s.Mean, 100*u.Mean)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig11 prints the streaming SLR distributions of the two heuristics.
+func Fig11(w io.Writer, opt Options) {
+	fmt.Fprintf(w, "== Figure 11: streaming SLR (makespan / streaming depth, %d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		points := RunSweep(topo, opt, false)
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s\n", "PEs", "scheduler", "Q1", "median", "Q3")
+		for _, pt := range points {
+			for _, r := range []struct {
+				name string
+				xs   []float64
+			}{{"STR-SCH-1", pt.SSLRLTS}, {"STR-SCH-2", pt.SSLRRLX}} {
+				s := stats.Summarize(r.xs)
+				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f\n", pt.PEs, r.name, s.Q1, s.Median, s.Q3)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig12 compares the canonical-graph scheduler against the CSDF self-timed
+// engine: analysis time per graph and makespan ratio (ours / CSDF optimum),
+// with as many PEs as tasks and the SB-RLX heuristic, as in Section 7.2.
+func Fig12(w io.Writer, opt Options) {
+	fmt.Fprintf(w, "== Figure 12: canonical task graphs vs CSDF (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		var schedTimes, csdfTimes, ratios []float64
+		for g := 0; g < opt.Graphs; g++ {
+			rng := rand.New(rand.NewSource(opt.Seed + int64(g)))
+			tg := topo.Build(rng, opt.Config)
+			p := tg.NumComputeNodes()
+
+			t0 := time.Now()
+			part, err := schedule.PartitionRLX(tg, p)
+			if err != nil {
+				panic(err)
+			}
+			res, err := schedule.Schedule(tg, part, p)
+			if err != nil {
+				panic(err)
+			}
+			schedTimes = append(schedTimes, time.Since(t0).Seconds())
+
+			t0 = time.Now()
+			cg, err := csdf.FromCanonical(tg)
+			if err != nil {
+				panic(err)
+			}
+			optimal, err := cg.SelfTimedMakespan()
+			if err != nil {
+				panic(err)
+			}
+			csdfTimes = append(csdfTimes, time.Since(t0).Seconds())
+			ratios = append(ratios, res.Makespan/optimal)
+		}
+		st, ct, rt := stats.Summarize(schedTimes), stats.Summarize(csdfTimes), stats.Summarize(ratios)
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "  scheduling time  STR-SCHD median %.3gs   CSDF median %.3gs   (x%.0f)\n",
+			st.Median, ct.Median, ct.Median/st.Median)
+		fmt.Fprintf(w, "  makespan ratio   median %.4f  q1 %.4f  q3 %.4f  max %.4f\n\n",
+			rt.Median, rt.Q1, rt.Q3, rt.Max)
+	}
+}
+
+// Fig13 prints the Appendix B validation: relative error (%) between the
+// scheduled and the simulated makespan, and confirms no simulation
+// deadlocked with the computed buffer sizes.
+func Fig13(w io.Writer, opt Options) {
+	fmt.Fprintf(w, "== Figure 13: discrete-event validation, relative error %% (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		points := RunSweep(topo, opt, true)
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s %8s %8s  %s\n",
+			"PEs", "scheduler", "min", "Q1", "median", "Q3", "max", "deadlocks")
+		for _, pt := range points {
+			for _, r := range []struct {
+				name string
+				xs   []float64
+			}{{"STR-SCH-1", pt.ErrLTS}, {"STR-SCH-2", pt.ErrRLX}} {
+				s := stats.Summarize(r.xs)
+				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f %8.2f %8.2f  %d\n",
+					pt.PEs, r.name, s.Min, s.Q1, s.Median, s.Q3, s.Max, pt.Deadlocks)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table2Row is one PE configuration of Table 2.
+type Table2Row struct {
+	PEs         int
+	StrSpeedup  float64
+	NstrSpeedup float64
+	Gain        float64
+}
+
+// Table2Model evaluates one model graph across PE counts using the SB-LTS
+// streaming heuristic against the buffered baseline.
+func Table2Model(tg *core.TaskGraph, pes []int) []Table2Row {
+	rows := make([]Table2Row, 0, len(pes))
+	for _, p := range pes {
+		part, err := schedule.PartitionLTS(tg, p)
+		if err != nil {
+			panic(err)
+		}
+		res, err := schedule.Schedule(tg, part, p)
+		if err != nil {
+			panic(err)
+		}
+		nstr, err := baseline.Schedule(tg, p, baseline.Options{Insertion: true})
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Table2Row{
+			PEs:         p,
+			StrSpeedup:  res.Speedup(tg),
+			NstrSpeedup: nstr.Speedup(tg),
+			Gain:        nstr.Makespan / res.Makespan,
+		})
+	}
+	return rows
+}
+
+// Table2 prints the ResNet-50 and transformer-encoder comparison. When full
+// is false, proportionally scaled models keep the run under a second.
+func Table2(w io.Writer, full bool) {
+	type model struct {
+		name  string
+		build func() (*core.TaskGraph, error)
+		pes   []int
+	}
+	models := []model{
+		{"Resnet-50", func() (*core.TaskGraph, error) {
+			if full {
+				return onnx.ResNet50(onnx.FullResNet50())
+			}
+			return onnx.ResNet50(onnx.TinyResNet50())
+		}, []int{512, 1024, 1536, 2048}},
+		{"Transformer encoder layer", func() (*core.TaskGraph, error) {
+			if full {
+				return onnx.TransformerEncoder(onnx.BaseEncoder())
+			}
+			return onnx.TransformerEncoder(onnx.TinyEncoder())
+		}, []int{256, 512, 768, 1024, 2048}},
+	}
+	if !full {
+		models[0].pes = []int{64, 128, 192, 256}
+		models[1].pes = []int{32, 64, 96, 128}
+	}
+	fmt.Fprintf(w, "== Table 2: ML inference workloads (full=%v) ==\n\n", full)
+	for _, m := range models {
+		tg, err := m.build()
+		if err != nil {
+			panic(err)
+		}
+		var bufs int
+		for _, n := range tg.Nodes {
+			if n.Kind == core.Buffer {
+				bufs++
+			}
+		}
+		fmt.Fprintf(w, "%s: %d nodes (%d buffer nodes)\n", m.name, tg.Len(), bufs)
+		fmt.Fprintf(w, "%6s  %12s %13s %6s\n", "#PEs", "STR speedup", "NSTR speedup", "G")
+		for _, r := range Table2Model(tg, m.pes) {
+			fmt.Fprintf(w, "%6d  %12.1f %13.1f %6.1f\n", r.PEs, r.StrSpeedup, r.NstrSpeedup, r.Gain)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// newRng returns a seeded random source; kept here so tests and callers
+// share one construction point.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

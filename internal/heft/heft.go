@@ -1,0 +1,228 @@
+// Package heft implements the Heterogeneous Earliest Finish Time scheduler
+// of Topcuoglu, Hariri, and Wu (TPDS 2002) — reference [33] of the paper —
+// for canonical task graphs on devices with heterogeneous processing
+// elements. The paper's Section 9 names heterogeneous PEs (typical of
+// System-on-Chip dataflow devices) as the natural extension of its model;
+// this package provides the classical buffered-communication scheduler for
+// that setting so streaming extensions have a baseline to compare against.
+//
+// Tasks are ranked by upward rank (mean execution cost plus the maximum
+// successor rank) and placed, in rank order, on the PE that minimizes the
+// earliest finish time, with insertion-based slot search.
+package heft
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Device describes a set of heterogeneous PEs by their speed factors: a
+// task of work W runs for W*Slowdown[pe] cycles on PE pe. A homogeneous
+// device has all factors equal to 1.
+type Device struct {
+	Slowdown []float64
+}
+
+// Homogeneous returns a device of p unit-speed PEs.
+func Homogeneous(p int) Device {
+	d := Device{Slowdown: make([]float64, p)}
+	for i := range d.Slowdown {
+		d.Slowdown[i] = 1
+	}
+	return d
+}
+
+// Validate checks the device description.
+func (d Device) Validate() error {
+	if len(d.Slowdown) == 0 {
+		return fmt.Errorf("heft: device has no PEs")
+	}
+	for i, s := range d.Slowdown {
+		if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+			return fmt.Errorf("heft: PE %d has invalid slowdown %g", i, s)
+		}
+	}
+	return nil
+}
+
+// meanSlowdown returns the average execution-cost multiplier.
+func (d Device) meanSlowdown() float64 {
+	s := 0.0
+	for _, x := range d.Slowdown {
+		s += x
+	}
+	return s / float64(len(d.Slowdown))
+}
+
+// Assignment records one task's placement.
+type Assignment struct {
+	PE         int
+	Start, End float64
+	Rank       float64
+}
+
+// Result is a complete HEFT schedule.
+type Result struct {
+	Tasks    []Assignment
+	Makespan float64
+	Device   Device
+}
+
+// Speedup returns the single-PE (unit-speed) execution time divided by the
+// makespan.
+func (r *Result) Speedup(t *core.TaskGraph) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return t.Work() / r.Makespan
+}
+
+type slot struct{ start, end float64 }
+
+type timeline struct{ busy []slot }
+
+func (tl *timeline) place(ready, dur float64) float64 {
+	if len(tl.busy) == 0 {
+		return ready
+	}
+	if ready+dur <= tl.busy[0].start {
+		return ready
+	}
+	for i := 0; i+1 < len(tl.busy); i++ {
+		start := math.Max(ready, tl.busy[i].end)
+		if start+dur <= tl.busy[i+1].start {
+			return start
+		}
+	}
+	return math.Max(ready, tl.busy[len(tl.busy)-1].end)
+}
+
+func (tl *timeline) insert(start, end float64) {
+	i := sort.Search(len(tl.busy), func(i int) bool { return tl.busy[i].start >= start })
+	tl.busy = append(tl.busy, slot{})
+	copy(tl.busy[i+1:], tl.busy[i:])
+	tl.busy[i] = slot{start, end}
+}
+
+type rankedItem struct {
+	node graph.NodeID
+	rank float64
+}
+
+type rankHeap []rankedItem
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank > h[j].rank
+	}
+	return h[i].node < h[j].node
+}
+func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)   { *h = append(*h, x.(rankedItem)) }
+func (h *rankHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Schedule runs HEFT on the canonical task graph over the given device.
+// Buffered-communication semantics apply: a task starts only after all its
+// predecessors finish, and passive nodes (buffers, sources, sinks) cost
+// nothing.
+func Schedule(t *core.TaskGraph, d Device, _ ...struct{}) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.G.Len()
+	mean := d.meanSlowdown()
+
+	// Upward rank with mean execution costs (communication is free in the
+	// paper's memory model).
+	work := make([]float64, n)
+	for v, node := range t.Nodes {
+		work[v] = node.Work()
+	}
+	rank := make([]float64, n)
+	topo, err := t.G.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		best := 0.0
+		for _, w := range t.G.Succs(v) {
+			if rank[w] > best {
+				best = rank[w]
+			}
+		}
+		rank[v] = work[v]*mean + best
+	}
+
+	res := &Result{Tasks: make([]Assignment, n), Device: d}
+	for v := range res.Tasks {
+		res.Tasks[v] = Assignment{PE: -1, Rank: rank[v]}
+	}
+
+	pes := make([]timeline, len(d.Slowdown))
+	remIn := make([]int, n)
+	finish := make([]float64, n)
+	ready := &rankHeap{}
+	for v := 0; v < n; v++ {
+		remIn[v] = t.G.InDegree(graph.NodeID(v))
+		if remIn[v] == 0 {
+			heap.Push(ready, rankedItem{node: graph.NodeID(v), rank: rank[v]})
+		}
+	}
+
+	done := 0
+	for ready.Len() > 0 {
+		it := heap.Pop(ready).(rankedItem)
+		v := it.node
+		node := t.Nodes[v]
+
+		dataReady := 0.0
+		for _, u := range t.G.Preds(v) {
+			if finish[u] > dataReady {
+				dataReady = finish[u]
+			}
+		}
+
+		if node.Kind == core.Compute {
+			bestPE, bestFinish, bestStart := -1, math.Inf(1), 0.0
+			for pe := range pes {
+				dur := work[v] * d.Slowdown[pe]
+				start := pes[pe].place(dataReady, dur)
+				if end := start + dur; end < bestFinish {
+					bestFinish, bestStart, bestPE = end, start, pe
+				}
+			}
+			pes[bestPE].insert(bestStart, bestFinish)
+			res.Tasks[v] = Assignment{PE: bestPE, Start: bestStart, End: bestFinish, Rank: rank[v]}
+			finish[v] = bestFinish
+		} else {
+			res.Tasks[v] = Assignment{PE: -1, Start: dataReady, End: dataReady, Rank: rank[v]}
+			finish[v] = dataReady
+		}
+		if finish[v] > res.Makespan {
+			res.Makespan = finish[v]
+		}
+		done++
+		for _, w := range t.G.Succs(v) {
+			remIn[w]--
+			if remIn[w] == 0 {
+				heap.Push(ready, rankedItem{node: w, rank: rank[w]})
+			}
+		}
+	}
+	if done != n {
+		return nil, fmt.Errorf("heft: scheduled %d of %d nodes (cycle?)", done, n)
+	}
+	return res, nil
+}

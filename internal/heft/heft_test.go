@@ -1,0 +1,162 @@
+package heft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// TestHomogeneousMatchesBaselinePacking: on a homogeneous device HEFT and
+// the CP/MISF baseline both hit the chain's sequential lower bound and pack
+// independent tasks perfectly.
+func TestHomogeneousMatchesBaselinePacking(t *testing.T) {
+	tg := core.New()
+	for i := 0; i < 8; i++ {
+		tg.AddElementWise("t", 64)
+	}
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Schedule(tg, Homogeneous(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 64 {
+		t.Errorf("makespan = %g, want 64", r.Makespan)
+	}
+	if sp := r.Speedup(tg); sp != 8 {
+		t.Errorf("speedup = %g, want 8", sp)
+	}
+}
+
+// TestPrefersFastPE: on a device with one fast and one slow PE, the single
+// critical task lands on the fast one.
+func TestPrefersFastPE(t *testing.T) {
+	tg := core.New()
+	v := tg.AddElementWise("hot", 100)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Schedule(tg, Device{Slowdown: []float64{4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks[v].PE != 1 {
+		t.Errorf("task placed on PE %d, want the fast PE 1", r.Tasks[v].PE)
+	}
+	if r.Makespan != 100 {
+		t.Errorf("makespan = %g, want 100", r.Makespan)
+	}
+}
+
+// TestSlowDeviceScalesMakespan: uniformly slowing every PE by k scales the
+// makespan by exactly k.
+func TestSlowDeviceScalesMakespan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tg := synth.Gaussian(8, rng, synth.SmallConfig())
+	fast, err := Schedule(tg, Homogeneous(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := Device{Slowdown: make([]float64, 8)}
+	for i := range slow.Slowdown {
+		slow.Slowdown[i] = 3
+	}
+	r, err := Schedule(tg, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-3*fast.Makespan) > 1e-9 {
+		t.Errorf("slow makespan %g, want %g", r.Makespan, 3*fast.Makespan)
+	}
+}
+
+// TestHeterogeneityHelps: adding a fast PE to a homogeneous device never
+// hurts, and a device of only-faster PEs is never slower.
+func TestHeterogeneityHelps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tg := synth.Cholesky(5, rng, synth.SmallConfig())
+		base, err := Schedule(tg, Homogeneous(4))
+		if err != nil {
+			return false
+		}
+		upgraded := Device{Slowdown: []float64{1, 1, 1, 1, 0.5}}
+		up, err := Schedule(tg, upgraded)
+		if err != nil {
+			return false
+		}
+		return up.Makespan <= base.Makespan+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchesBaselineOnHomogeneous: HEFT with unit slowdowns produces
+// schedules no worse than ~15% of the CP/MISF baseline on random graphs
+// (both are list schedulers with insertion; priorities differ slightly).
+func TestMatchesBaselineOnHomogeneous(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tg := synth.FFT(16, rng, synth.SmallConfig())
+		h, err := Schedule(tg, Homogeneous(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := baseline.Schedule(tg, 16, baseline.Options{Insertion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Makespan > b.Makespan*1.15 {
+			t.Errorf("seed %d: HEFT %g much worse than baseline %g", seed, h.Makespan, b.Makespan)
+		}
+	}
+}
+
+// TestDeviceValidation: broken devices are rejected.
+func TestDeviceValidation(t *testing.T) {
+	tg := core.New()
+	tg.AddElementWise("a", 4)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Device{
+		{},
+		{Slowdown: []float64{0}},
+		{Slowdown: []float64{-1}},
+		{Slowdown: []float64{math.Inf(1)}},
+	} {
+		if _, err := Schedule(tg, d); err == nil {
+			t.Errorf("device %+v accepted", d)
+		}
+	}
+}
+
+// TestPassiveNodesFree: buffers and sources cost nothing under HEFT.
+func TestPassiveNodesFree(t *testing.T) {
+	tg := core.New()
+	src := tg.AddSource("in", 16)
+	buf := tg.AddBuffer("mem", 16, 16)
+	cmp := tg.AddElementWise("c", 16)
+	tg.MustConnect(src, buf)
+	tg.MustConnect(buf, cmp)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Schedule(tg, Homogeneous(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks[src].PE != -1 || r.Tasks[buf].PE != -1 {
+		t.Error("passive nodes occupied PEs")
+	}
+	if r.Makespan != 16 {
+		t.Errorf("makespan = %g, want 16", r.Makespan)
+	}
+}

@@ -1,0 +1,190 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/buffers"
+	"repro/internal/core"
+	"repro/internal/desim"
+
+	"repro/internal/schedule"
+)
+
+func scheduleAll(t *testing.T, tg *core.TaskGraph) *schedule.Result {
+	t.Helper()
+	p := tg.NumComputeNodes()
+	if p == 0 {
+		p = 1
+	}
+	res, err := schedule.Schedule(tg, schedule.AllInOneBlock(tg), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestOuterProductVariantsStreamAsClaimed: Section 3.2.1 says variant 1
+// streams u, variant 2 streams v, variant 3 streams only the result. With
+// everything co-scheduled, the streamed implementations finish earlier than
+// the double-buffered one.
+func TestOuterProductVariantsStreamAsClaimed(t *testing.T) {
+	const n, m = 32, 16
+	makespans := map[OuterProductVariant]float64{}
+	for _, variant := range []OuterProductVariant{OuterRowMajor, OuterColMajor, OuterBuffered} {
+		tg, _, err := OuterProduct(variant, n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := scheduleAll(t, tg)
+		st, err := desim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Deadlocked {
+			t.Fatalf("variant %d deadlocked", variant)
+		}
+		makespans[variant] = res.Makespan
+	}
+	// Row-major streams u and only waits for the short v buffer, so it beats
+	// the double-buffered variant. Col-major still buffers the long u input
+	// (n > m here), so it can only match the buffered variant, not beat it.
+	if makespans[OuterRowMajor] >= makespans[OuterBuffered] {
+		t.Errorf("row-major (%g) should beat fully buffered (%g)",
+			makespans[OuterRowMajor], makespans[OuterBuffered])
+	}
+	if makespans[OuterColMajor] > makespans[OuterBuffered] {
+		t.Errorf("col-major (%g) should not lose to fully buffered (%g)",
+			makespans[OuterColMajor], makespans[OuterBuffered])
+	}
+}
+
+// TestOuterProductResultVolume: every variant delivers n*m elements.
+func TestOuterProductResultVolume(t *testing.T) {
+	for _, variant := range []OuterProductVariant{OuterRowMajor, OuterColMajor, OuterBuffered} {
+		tg, sink, err := OuterProduct(variant, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tg.Nodes[sink].In; got != 32 {
+			t.Errorf("variant %d: sink receives %d, want 32", variant, got)
+		}
+	}
+}
+
+// TestVectorNormStreamedNeedsBuffer: the Figure 4 graph 2 pipeline
+// deadlocks with unit FIFOs — the x stream to the divider must hold the
+// whole vector while the norm reduction completes — and the Section 6
+// analysis computes exactly that space.
+func TestVectorNormStreamedNeedsBuffer(t *testing.T) {
+	const n = 64
+	tg, err := VectorNorm(NormStreamed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scheduleAll(t, tg)
+
+	// With unit FIFOs everywhere: deadlock.
+	st, err := desim.Simulate(tg, res, desim.Config{DefaultCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Deadlocked {
+		t.Fatalf("expected deadlock with unit FIFOs, finished at %g", st.Makespan)
+	}
+
+	// With Equation 5 sizes: completes, and the tee->div edge holds the
+	// full vector.
+	caps := buffers.SizeMap(tg, res)
+	var teeDiv int64
+	for key, space := range caps {
+		if tg.Nodes[key[0]].Name == "tee" && tg.Nodes[key[1]].Name == "div" {
+			teeDiv = space
+		}
+	}
+	if teeDiv < n {
+		t.Errorf("tee->div FIFO = %d, want >= %d", teeDiv, n)
+	}
+	st, err = desim.Simulate(tg, res, desim.Config{FIFOCap: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Fatalf("deadlock with computed sizes at cycle %d", st.DeadlockCycle)
+	}
+	if e := math.Abs(st.RelativeError(res.Makespan)); e > 0.10 {
+		t.Errorf("relative error %.3f too large (sim %g, sched %g)", e, st.Makespan, res.Makespan)
+	}
+}
+
+// TestVectorNormBufferedSafe: the Figure 4 graph 1 implementation cannot
+// deadlock even with unit FIFOs (nothing streams across the buffer), at the
+// cost of running the two phases back to back.
+func TestVectorNormBufferedSafe(t *testing.T) {
+	const n = 64
+	buffered, err := VectorNorm(NormBuffered, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB := scheduleAll(t, buffered)
+	st, err := desim.Simulate(buffered, resB, desim.Config{DefaultCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Fatal("buffered variant deadlocked with unit FIFOs")
+	}
+
+	streamed, err := VectorNorm(NormStreamed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a single vector both variants wait for the norm reduction before
+	// dividing, so their makespans agree up to the extra tee pipeline hop;
+	// the streamed variant pays off on sequences of vectors (Section 3.2.3).
+	resS := scheduleAll(t, streamed)
+	if resS.Makespan > resB.Makespan+2 {
+		t.Errorf("streamed makespan %g should be within a hop of buffered %g",
+			resS.Makespan, resB.Makespan)
+	}
+}
+
+// TestKernelsRejectBadSizes: constructors validate their inputs.
+func TestKernelsRejectBadSizes(t *testing.T) {
+	if _, _, err := OuterProduct(OuterRowMajor, 0, 4); err == nil {
+		t.Error("outer product accepted n=0")
+	}
+	if _, err := VectorNorm(NormStreamed, 0); err == nil {
+		t.Error("vector norm accepted n=0")
+	}
+	if _, _, err := OuterProduct(OuterProductVariant(99), 2, 2); err == nil {
+		t.Error("unknown outer variant accepted")
+	}
+	if _, err := VectorNorm(VectorNormVariant(99), 4); err == nil {
+		t.Error("unknown norm variant accepted")
+	}
+}
+
+// TestBufferSizingSeesBufferPaths: the tee node feeding both the reduction
+// chain and the divider is detected as lying on an undirected cycle even
+// though one path crosses a buffer node.
+func TestBufferSizingSeesBufferPaths(t *testing.T) {
+	tg, err := VectorNorm(NormStreamed, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scheduleAll(t, tg)
+	var cycleEdges int
+	var teeDivOnCycle bool
+	for _, e := range buffers.Sizes(tg, res) {
+		if e.OnCycle {
+			cycleEdges++
+			if tg.Nodes[e.From].Name == "tee" && tg.Nodes[e.To].Name == "div" {
+				teeDivOnCycle = true
+			}
+		}
+	}
+	if !teeDivOnCycle {
+		t.Errorf("tee->div not flagged as cycle edge (%d cycle edges found)", cycleEdges)
+	}
+}

@@ -1,0 +1,189 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/synth"
+)
+
+func TestMeshGeometry(t *testing.T) {
+	m := NewMesh(12)
+	if m.PEs() < 12 {
+		t.Fatalf("mesh %dx%d has %d PEs, want >= 12", m.W, m.H, m.PEs())
+	}
+	if got := m.Hops(m.Index(0, 0), m.Index(2, 1)); got != 3 {
+		t.Errorf("hops = %d, want 3", got)
+	}
+	if got := m.Hops(5, 5); got != 0 {
+		t.Errorf("self hops = %d", got)
+	}
+}
+
+// TestRouteLengthMatchesHops: XY routes have exactly Hops links.
+func TestRouteLengthMatchesHops(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMesh(rng.Intn(30) + 2)
+		a := rng.Intn(m.PEs())
+		b := rng.Intn(m.PEs())
+		return len(m.route(a, b, nil)) == m.Hops(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func scheduled(t *testing.T, seed int64, pes int) (*core.TaskGraph, *schedule.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tg := synth.Cholesky(6, rng, synth.SmallConfig())
+	part, err := schedule.PartitionLTS(tg, pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Schedule(tg, part, pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg, res
+}
+
+// TestPlaceGreedyValid: every compute task of the block gets a distinct PE.
+func TestPlaceGreedyValid(t *testing.T) {
+	tg, res := scheduled(t, 1, 16)
+	mesh := NewMesh(16)
+	p, err := PlaceGreedy(tg, res, mesh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	placed := 0
+	for _, v := range res.Partition.Blocks[0].Nodes {
+		pe := p.PEOf[v]
+		if tg.Nodes[v].Kind != core.Compute {
+			if pe != -1 {
+				t.Errorf("passive node %d placed on PE %d", v, pe)
+			}
+			continue
+		}
+		if pe < 0 || pe >= mesh.PEs() {
+			t.Fatalf("task %d placed on invalid PE %d", v, pe)
+		}
+		if seen[pe] {
+			t.Fatalf("PE %d double-booked", pe)
+		}
+		seen[pe] = true
+		placed++
+	}
+	if placed != res.Partition.Blocks[0].ComputeCount {
+		t.Errorf("placed %d of %d tasks", placed, res.Partition.Blocks[0].ComputeCount)
+	}
+}
+
+// TestPlaceGreedyRejectsSmallMesh: a block larger than the mesh fails.
+func TestPlaceGreedyRejectsSmallMesh(t *testing.T) {
+	tg, res := scheduled(t, 1, 16)
+	if _, err := PlaceGreedy(tg, res, Mesh{W: 2, H: 2}, 0); err == nil {
+		t.Error("16-task block placed on 4-PE mesh")
+	}
+}
+
+// TestAnnealNeverWorsens: annealing accepts uphill moves transiently but
+// must not return a placement worse than the greedy start (it keeps the
+// final state only through accepted moves; we check the objective).
+func TestAnnealNeverWorsensMuch(t *testing.T) {
+	tg, res := scheduled(t, 2, 16)
+	mesh := NewMesh(16)
+	g, err := PlaceGreedy(tg, res, mesh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Evaluate(tg, res, g)
+	a := Anneal(tg, res, clone(g), 2000, rand.New(rand.NewSource(7)))
+	after := Evaluate(tg, res, a)
+	obj := func(c Cost) float64 { return c.TotalHopVolume + 0.5*c.MaxLinkLoad }
+	if obj(after) > obj(before)*1.10 {
+		t.Errorf("annealing worsened placement: %.1f -> %.1f", obj(before), obj(after))
+	}
+}
+
+func clone(p Placement) Placement {
+	q := p
+	q.PEOf = append([]int(nil), p.PEOf...)
+	return q
+}
+
+// TestAnnealImprovesBadPlacement: starting from a deliberately scattered
+// placement, annealing reduces the hop volume.
+func TestAnnealImprovesBadPlacement(t *testing.T) {
+	tg, res := scheduled(t, 3, 16)
+	mesh := NewMesh(16)
+	p, err := PlaceGreedy(tg, res, mesh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scramble deterministically.
+	rng := rand.New(rand.NewSource(99))
+	var placedPEs []int
+	var tasks []int
+	for v, pe := range p.PEOf {
+		if pe >= 0 {
+			placedPEs = append(placedPEs, pe)
+			tasks = append(tasks, v)
+		}
+	}
+	rng.Shuffle(len(placedPEs), func(i, j int) { placedPEs[i], placedPEs[j] = placedPEs[j], placedPEs[i] })
+	for i, v := range tasks {
+		p.PEOf[v] = placedPEs[i]
+	}
+	before := Evaluate(tg, res, p)
+	improved := Anneal(tg, res, p, 4000, rand.New(rand.NewSource(5)))
+	after := Evaluate(tg, res, improved)
+	if after.TotalHopVolume > before.TotalHopVolume {
+		t.Errorf("hop volume grew: %.1f -> %.1f", before.TotalHopVolume, after.TotalHopVolume)
+	}
+}
+
+// TestPlaceAllCoversBlocks: one placement per spatial block, all valid.
+func TestPlaceAllCoversBlocks(t *testing.T) {
+	tg, res := scheduled(t, 4, 8)
+	mesh := NewMesh(8)
+	ps, cs, err := PlaceAll(tg, res, mesh, 500, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != res.Partition.NumBlocks() || len(cs) != len(ps) {
+		t.Fatalf("placements %d, costs %d, blocks %d", len(ps), len(cs), res.Partition.NumBlocks())
+	}
+	for i, c := range cs {
+		if c.TotalHopVolume < 0 || c.MaxLinkLoad < 0 {
+			t.Errorf("block %d: negative cost %+v", i, c)
+		}
+	}
+}
+
+// TestEvaluateZeroForSingleTaskBlocks: one task means no streaming edges,
+// so all costs vanish.
+func TestEvaluateZeroForSingleTaskBlocks(t *testing.T) {
+	tg := core.New()
+	tg.AddElementWise("only", 8)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Schedule(tg, schedule.AllInOneBlock(tg), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlaceGreedy(tg, res, NewMesh(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Evaluate(tg, res, p)
+	if c.TotalHopVolume != 0 || c.MaxLinkLoad != 0 || c.AvgHops != 0 {
+		t.Errorf("nonzero cost for singleton block: %+v", c)
+	}
+}

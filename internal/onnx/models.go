@@ -1,0 +1,186 @@
+package onnx
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ResNetConfig scales the ResNet-50 graph. The full model (ImageSize 224,
+// Scale 1) lowers to tens of thousands of canonical tasks like the paper's
+// 54,252-node graph; smaller settings keep unit tests fast.
+type ResNetConfig struct {
+	// ImageSize is the input height/width in pixels (224 for the paper).
+	ImageSize int64
+	// Scale divides every channel count (1 for the full model; 8 gives a
+	// test-sized network with the same topology).
+	Scale int64
+	// Classes is the classifier width (1000 for ImageNet).
+	Classes int64
+}
+
+// FullResNet50 is the published ResNet-50 configuration used in Table 2.
+func FullResNet50() ResNetConfig { return ResNetConfig{ImageSize: 224, Scale: 1, Classes: 1000} }
+
+// TinyResNet50 keeps the exact stage/block structure at 1/8 width and a
+// 32-pixel input; useful in tests.
+func TinyResNet50() ResNetConfig { return ResNetConfig{ImageSize: 32, Scale: 8, Classes: 100} }
+
+func (c ResNetConfig) ch(n int64) int64 {
+	v := n / c.Scale
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// ResNet50 builds the canonical task graph of ResNet-50 inference (He et
+// al., CVPR 2016): a 7x7 stem convolution, four stages of [3, 4, 6, 3]
+// bottleneck blocks, global average pooling, the fully connected classifier,
+// and softmax. Convolutions use im2col (Section 7.3); BatchNorm and ReLU are
+// element-wise tasks per output channel, which is where the paper reports
+// most of the pipelining gain.
+func ResNet50(c ResNetConfig) (*core.TaskGraph, error) {
+	b := NewBuilder()
+	hw := c.ImageSize * c.ImageSize
+	x := b.Input("image", hw*3)
+
+	// Stem: 7x7 stride-2 conv to 64 channels, BN, ReLU, 3x3 stride-2 pool.
+	hwOut := hw / 4
+	v := b.Conv("stem", x, hw, 3, 49, c.ch(64), hwOut)
+	v = b.BatchNorm("stem", v)
+	v = b.ReLU("stem", v)
+	hw = hwOut
+	hwOut = hw / 4
+	v = b.MaxPool("stem", v, hwOut)
+	hw = hwOut
+
+	stages := []struct {
+		blocks int
+		mid    int64
+		stride int64
+	}{
+		{3, 64, 1}, {4, 128, 2}, {6, 256, 2}, {3, 512, 2},
+	}
+	cin := c.ch(64)
+	for si, st := range stages {
+		mid := c.ch(st.mid)
+		cout := 4 * mid
+		for bi := 0; bi < st.blocks; bi++ {
+			name := fmt.Sprintf("s%d.b%d", si+1, bi)
+			stride := int64(1)
+			if bi == 0 {
+				stride = st.stride
+			}
+			hwOut = hw / (stride * stride)
+
+			// Shortcut: projection conv on the first block of a stage.
+			shortcut := v
+			if bi == 0 {
+				shortcut = b.Conv(name+".proj", v, hw, cin, 1, cout, hwOut)
+				shortcut = b.BatchNorm(name+".proj", shortcut)
+			}
+
+			t := b.Conv(name+".c1", v, hw, cin, 1, mid, hw)
+			t = b.BatchNorm(name+".c1", t)
+			t = b.ReLU(name+".c1", t)
+			t = b.Conv(name+".c2", t, hw, mid, 9, mid, hwOut)
+			t = b.BatchNorm(name+".c2", t)
+			t = b.ReLU(name+".c2", t)
+			t = b.Conv(name+".c3", t, hwOut, mid, 1, cout, hwOut)
+			t = b.BatchNorm(name+".c3", t)
+
+			v = b.EltWise(name+".add", t, shortcut)
+			v = b.ReLU(name+".out", v)
+			hw = hwOut
+			cin = cout
+		}
+	}
+
+	v = b.GlobalAvgPool("head", v)
+	w := b.Weight("fc.W", cin*c.Classes)
+	v = b.MatMul("fc", v, w, 1, cin, c.Classes)
+	v = b.Softmax("head", v, 1, c.Classes)
+	b.Output("probs", v)
+	return b.Finish()
+}
+
+// TransformerConfig scales the encoder layer of Vaswani et al.'s base model
+// used in Table 2.
+type TransformerConfig struct {
+	// SeqLen is the number of tokens.
+	SeqLen int64
+	// Model is the embedding width d_model (512 for the base model).
+	Model int64
+	// Heads is the number of attention heads (8).
+	Heads int64
+	// FF is the feed-forward hidden width (2048).
+	FF int64
+}
+
+// BaseEncoder is the base-model encoder layer configuration of Table 2.
+func BaseEncoder() TransformerConfig {
+	return TransformerConfig{SeqLen: 128, Model: 512, Heads: 8, FF: 2048}
+}
+
+// TinyEncoder keeps the encoder structure at toy size for tests.
+func TinyEncoder() TransformerConfig {
+	return TransformerConfig{SeqLen: 16, Model: 32, Heads: 4, FF: 64}
+}
+
+// TransformerEncoder builds one encoder layer: multi-head self-attention
+// (QKV projections, per-head scaled dot-product attention with the Figure 5
+// softmax, head concatenation, output projection), residual connections,
+// layer normalization, and the two-layer feed-forward block. Head slicing
+// and concatenation operate on column bundles at zero cost; everything the
+// paper maps to Transpose/Reshape goes through buffer nodes inside MatMul
+// and Softmax.
+func TransformerEncoder(c TransformerConfig) (*core.TaskGraph, error) {
+	if c.Model%c.Heads != 0 {
+		return nil, fmt.Errorf("onnx: model width %d not divisible by %d heads", c.Model, c.Heads)
+	}
+	b := NewBuilder()
+	s, d, h := c.SeqLen, c.Model, c.Heads
+	dk := d / h
+
+	x := b.Input("tokens", s*d)
+	wq := b.Weight("Wq", d*d)
+	wk := b.Weight("Wk", d*d)
+	wv := b.Weight("Wv", d*d)
+
+	q := b.MatMul("q", x, wq, s, d, d) // column bundle: d streams of s
+	k := b.MatMul("k", x, wk, s, d, d)
+	v := b.MatMul("v", x, wv, s, d, d)
+
+	var heads []Value
+	for i := int64(0); i < h; i++ {
+		name := fmt.Sprintf("attn.h%d", i)
+		qh := q.Slice(int(i*dk), int((i+1)*dk))
+		kh := k.Slice(int(i*dk), int((i+1)*dk))
+		vh := v.Slice(int(i*dk), int((i+1)*dk))
+
+		// scores[s,s] = Qh[s,dk] * Kh^T[dk,s]; the transpose is the
+		// merge buffer reading Kh column-major.
+		scores := b.MatMul(name+".qk", qh, kh, s, dk, s)
+		probs := b.Softmax(name, scores, s, s)
+		heads = append(heads, b.MatMul(name+".av", probs, vh, s, s, dk))
+	}
+	attn := Concat(heads...)
+
+	wo := b.Weight("Wo", d*d)
+	attnOut := b.MatMul("proj", attn, wo, s, d, d)
+
+	res1 := b.EltWise("res1", b.Merge("res1", attnOut), x)
+	ln1 := b.LayerNorm("ln1", res1, s, d)
+
+	w1 := b.Weight("ff.W1", d*c.FF)
+	w2 := b.Weight("ff.W2", c.FF*d)
+	ff := b.MatMul("ff1", ln1, w1, s, d, c.FF)
+	ff = b.ReLU("ff", ff)
+	ffOut := b.MatMul("ff2", ff, w2, s, c.FF, d)
+
+	res2 := b.EltWise("res2", b.Merge("res2", ffOut), ln1)
+	ln2 := b.LayerNorm("ln2", res2, s, d)
+	b.Output("encoded", ln2)
+	return b.Finish()
+}

@@ -1,0 +1,107 @@
+package onnx
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MLPConfig describes a multilayer perceptron: Batch rows flow through
+// Layers fully connected layers with ReLU between them and softmax at the
+// end.
+type MLPConfig struct {
+	Batch  int64
+	Layers []int64 // layer widths, including input width as Layers[0]
+}
+
+// MLP builds an inference-time multilayer perceptron as a canonical task
+// graph: a chain of column-parallel matmuls with per-column activations —
+// the simplest workload where streaming scheduling pipelines whole layers.
+func MLP(c MLPConfig) (*core.TaskGraph, error) {
+	if c.Batch < 1 || len(c.Layers) < 2 {
+		return nil, fmt.Errorf("onnx: MLP needs a batch and at least two layer widths")
+	}
+	b := NewBuilder()
+	v := b.Input("x", c.Batch*c.Layers[0])
+	for i := 0; i+1 < len(c.Layers); i++ {
+		in, out := c.Layers[i], c.Layers[i+1]
+		w := b.Weight(fmt.Sprintf("fc%d.W", i), in*out)
+		v = b.MatMul(fmt.Sprintf("fc%d", i), v, w, c.Batch, in, out)
+		if i+2 < len(c.Layers) {
+			v = b.ReLU(fmt.Sprintf("fc%d", i), v)
+		}
+	}
+	last := c.Layers[len(c.Layers)-1]
+	v = b.Softmax("head", v, c.Batch, last)
+	b.Output("probs", v)
+	return b.Finish()
+}
+
+// VGGConfig scales the VGG-16-style network: five convolutional stages of
+// 3x3 convolutions with doubling channel counts, 2x2 max pooling between
+// stages, and a three-layer classifier head.
+type VGGConfig struct {
+	ImageSize int64
+	Scale     int64
+	Classes   int64
+}
+
+// TinyVGG keeps the stage structure at test size.
+func TinyVGG() VGGConfig { return VGGConfig{ImageSize: 32, Scale: 8, Classes: 10} }
+
+// FullVGG16 is the published configuration (Simonyan & Zisserman).
+func FullVGG16() VGGConfig { return VGGConfig{ImageSize: 224, Scale: 1, Classes: 1000} }
+
+func (c VGGConfig) ch(n int64) int64 {
+	v := n / c.Scale
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// VGG builds the VGG-16 task graph: conv/ReLU chains dominate, so it is the
+// CNN counterpart with maximal streaming opportunity (no residual joins).
+func VGG(c VGGConfig) (*core.TaskGraph, error) {
+	if c.ImageSize < 4 || c.ImageSize%32 != 0 {
+		return nil, fmt.Errorf("onnx: VGG image size must be a positive multiple of 32, got %d", c.ImageSize)
+	}
+	b := NewBuilder()
+	hw := c.ImageSize * c.ImageSize
+	v := b.Input("image", hw*3)
+	cin := int64(3)
+
+	stages := []struct {
+		convs int
+		ch    int64
+	}{
+		{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+	}
+	for si, st := range stages {
+		cout := c.ch(st.ch)
+		for ci := 0; ci < st.convs; ci++ {
+			name := fmt.Sprintf("s%d.c%d", si+1, ci)
+			v = b.Conv(name, v, hw, cin, 9, cout, hw)
+			v = b.ReLU(name, v)
+			cin = cout
+		}
+		hwOut := hw / 4 // 2x2 max pool, stride 2
+		v = b.MaxPool(fmt.Sprintf("s%d", si+1), v, hwOut)
+		hw = hwOut
+	}
+
+	// Classifier: flatten (merge) then three FC layers.
+	flat := hw * cin
+	fc1 := c.ch(4096)
+	w1 := b.Weight("fc1.W", flat*fc1)
+	v = b.MatMul("fc1", v, w1, 1, flat, fc1)
+	v = b.ReLU("fc1", v)
+	w2 := b.Weight("fc2.W", fc1*fc1)
+	v = b.MatMul("fc2", v, w2, 1, fc1, fc1)
+	v = b.ReLU("fc2", v)
+	w3 := b.Weight("fc3.W", fc1*c.Classes)
+	v = b.MatMul("fc3", v, w3, 1, fc1, c.Classes)
+	v = b.Softmax("head", v, 1, c.Classes)
+	b.Output("probs", v)
+	return b.Finish()
+}

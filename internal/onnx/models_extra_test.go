@@ -1,0 +1,77 @@
+package onnx
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/schedule"
+)
+
+func TestMLPBuildsAndStreams(t *testing.T) {
+	tg, err := MLP(MLPConfig{Batch: 16, Layers: []int64{32, 64, 64, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Len() < 64+64+10 {
+		t.Errorf("MLP only %d nodes", tg.Len())
+	}
+	p := 32
+	part, err := schedule.PartitionLTS(tg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := schedule.Schedule(tg, part, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if str.Makespan <= 0 {
+		t.Error("non-positive makespan")
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	if _, err := MLP(MLPConfig{Batch: 0, Layers: []int64{4, 4}}); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := MLP(MLPConfig{Batch: 4, Layers: []int64{4}}); err == nil {
+		t.Error("single layer accepted")
+	}
+}
+
+func TestVGGBuildsWithStreamingGain(t *testing.T) {
+	tg, err := VGG(TinyVGG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Len() < 500 {
+		t.Errorf("tiny VGG only %d nodes", tg.Len())
+	}
+	p := tg.NumComputeNodes() / 8
+	if p < 8 {
+		p = 8
+	}
+	part, err := schedule.PartitionLTS(tg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := schedule.Schedule(tg, part, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nstr, err := baseline.Schedule(tg, p, baseline.Options{Insertion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := nstr.Makespan / str.Makespan
+	t.Logf("VGG tiny: P=%d STR %.1f NSTR %.1f gain %.2f",
+		p, str.Speedup(tg), nstr.Speedup(tg), gain)
+	if gain <= 1.0 {
+		t.Errorf("VGG conv/ReLU chains should stream: gain %.3f", gain)
+	}
+}
+
+func TestVGGValidation(t *testing.T) {
+	if _, err := VGG(VGGConfig{ImageSize: 33, Scale: 1, Classes: 10}); err == nil {
+		t.Error("non-multiple-of-32 image accepted")
+	}
+}

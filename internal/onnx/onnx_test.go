@@ -1,0 +1,140 @@
+package onnx
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/schedule"
+)
+
+// TestMatMulLoweringShape: implementation 2 of Figure 3 produces one
+// replicator, one B buffer, and m matrix-vector downsamplers of N outputs.
+func TestMatMulLoweringShape(t *testing.T) {
+	b := NewBuilder()
+	const n, k, m = 4, 3, 5
+	a := b.Input("A", n*k)
+	w := b.Weight("B", k*m)
+	c := b.MatMul("mm", a, w, n, k, m)
+	b.Output("C", c)
+	tg, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parts) != m || c.PerPart != n {
+		t.Fatalf("result bundle: %d parts of %d, want %d of %d", len(c.Parts), c.PerPart, m, n)
+	}
+	var repl, buf, mv int
+	for _, nd := range tg.Nodes {
+		switch {
+		case nd.Kind == core.Buffer:
+			buf++
+		case nd.IsElementWise() && nd.In == n*k:
+			repl++
+		case nd.IsDownsampler() && nd.In == n*k && nd.Out == n:
+			mv++
+		}
+	}
+	if repl != 1 || buf != 1 || mv != m {
+		t.Errorf("lowering: repl=%d buf=%d mv=%d, want 1, 1, %d", repl, buf, mv, m)
+	}
+}
+
+// TestSoftmaxLoweringShape: the Figure 5 subgraph has two reductions, three
+// element-wise tasks, and four buffers.
+func TestSoftmaxLoweringShape(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x", 64)
+	y := b.Softmax("sm", x, 1, 64)
+	b.Output("y", y)
+	tg, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down, ew, buf int
+	for _, nd := range tg.Nodes {
+		switch {
+		case nd.IsDownsampler():
+			down++
+		case nd.IsElementWise():
+			ew++
+		case nd.Kind == core.Buffer:
+			buf++
+		}
+	}
+	if down != 2 || ew != 3 || buf != 4 {
+		t.Errorf("softmax lowering: down=%d ew=%d buf=%d, want 2, 3, 4", down, ew, buf)
+	}
+}
+
+// TestTinyResNetBuilds: the scaled ResNet-50 lowers to a valid canonical
+// graph with the expected ingredients.
+func TestTinyResNetBuilds(t *testing.T) {
+	tg, err := ResNet50(TinyResNet50())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Len() < 1000 {
+		t.Errorf("tiny ResNet has only %d nodes", tg.Len())
+	}
+	var bufs int
+	for _, nd := range tg.Nodes {
+		if nd.Kind == core.Buffer {
+			bufs++
+		}
+	}
+	if bufs < 50 {
+		t.Errorf("tiny ResNet has only %d buffer nodes", bufs)
+	}
+}
+
+// TestTinyEncoderBuilds: the scaled transformer encoder lowers and keeps
+// head slicing consistent.
+func TestTinyEncoderBuilds(t *testing.T) {
+	tg, err := TransformerEncoder(TinyEncoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Len() < 300 {
+		t.Errorf("tiny encoder has only %d nodes", tg.Len())
+	}
+}
+
+// TestStreamingBeatsBaselineOnModels mirrors the Table 2 shape: streaming
+// scheduling achieves a higher speedup than the buffered baseline on both
+// model graphs.
+func TestStreamingBeatsBaselineOnModels(t *testing.T) {
+	models := map[string]func() (*core.TaskGraph, error){
+		"resnet":  func() (*core.TaskGraph, error) { return ResNet50(TinyResNet50()) },
+		"encoder": func() (*core.TaskGraph, error) { return TransformerEncoder(TinyEncoder()) },
+	}
+	for name, build := range models {
+		tg, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p := tg.NumComputeNodes() / 4
+		if p < 4 {
+			p = 4
+		}
+		part, err := schedule.PartitionLTS(tg, p)
+		if err != nil {
+			t.Fatalf("%s: partition: %v", name, err)
+		}
+		str, err := schedule.Schedule(tg, part, p)
+		if err != nil {
+			t.Fatalf("%s: schedule: %v", name, err)
+		}
+		nstr, err := baseline.Schedule(tg, p, baseline.Options{Insertion: true})
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", name, err)
+		}
+		gain := nstr.Makespan / str.Makespan
+		t.Logf("%s: P=%d streaming speedup %.1f, baseline %.1f, gain %.2f",
+			name, p, str.Speedup(tg), nstr.Speedup(tg), gain)
+		if gain <= 1.0 {
+			t.Errorf("%s: streaming gain %.3f, want > 1 (str %g vs nstr %g)",
+				name, gain, str.Makespan, nstr.Makespan)
+		}
+	}
+}

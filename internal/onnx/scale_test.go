@@ -1,0 +1,50 @@
+package onnx
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/schedule"
+)
+
+// TestFullScale builds the full-size Table 2 model graphs and schedules one
+// PE count each, guarding against performance regressions at the paper's
+// real scale (tens of thousands of canonical tasks).
+func TestFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale models take ~1.5s; skipped with -short")
+	}
+	t0 := time.Now()
+	rn, err := ResNet50(FullResNet50())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ResNet-50: %d nodes (%d compute) built in %v", rn.Len(), rn.NumComputeNodes(), time.Since(t0))
+	t0 = time.Now()
+	part, err := schedule.PartitionLTS(rn, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Schedule(rn, part, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scheduled P=512 in %v, %d blocks, speedup %.1f", time.Since(t0), part.NumBlocks(), res.Speedup(rn))
+
+	t0 = time.Now()
+	enc, err := TransformerEncoder(BaseEncoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Encoder: %d nodes (%d compute) built in %v", enc.Len(), enc.NumComputeNodes(), time.Since(t0))
+	t0 = time.Now()
+	part2, err := schedule.PartitionLTS(enc, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := schedule.Schedule(enc, part2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scheduled P=256 in %v, %d blocks, speedup %.1f", time.Since(t0), part2.NumBlocks(), res2.Speedup(enc))
+}

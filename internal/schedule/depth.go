@@ -1,0 +1,40 @@
+package schedule
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// AllInOneBlock builds the trivial partition with every node co-scheduled in
+// a single spatial block, as if the device had unlimited PEs.
+func AllInOneBlock(t *core.TaskGraph) Partition {
+	p := Partition{BlockOf: make([]int, t.G.Len())}
+	b := Block{}
+	for v := 0; v < t.G.Len(); v++ {
+		b.Nodes = append(b.Nodes, graph.NodeID(v))
+		if t.Nodes[v].Kind == core.Compute {
+			b.ComputeCount++
+		}
+	}
+	p.Blocks = []Block{b}
+	return p
+}
+
+// StreamingDepth returns T_s-infinity: the minimum time needed to perform
+// the computation with an infinite number of PEs, when all computational
+// tasks are co-scheduled and can stream (Section 4.2). It is the makespan of
+// the single-block schedule; core.TaskGraph.StreamingDepth provides the
+// closed-form Equation (4) upper bound on this value.
+func StreamingDepth(t *core.TaskGraph) float64 {
+	p := t.NumComputeNodes()
+	if p == 0 {
+		p = 1
+	}
+	res, err := Schedule(t, AllInOneBlock(t), p)
+	if err != nil {
+		// The only failure modes are structural (cycle, bad partition),
+		// which Freeze/Validate already rule out for valid graphs.
+		panic(err)
+	}
+	return res.Makespan
+}

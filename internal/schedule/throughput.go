@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Pipeline analyzes the repeated execution of the same task graph on a
+// stream of independent inputs (Section 3.2.3 discusses the pattern for
+// sequences of vectors; Synchronous DataFlow work optimizes exactly this
+// regime). Iterations enter the device back to back: iteration i+1 may
+// occupy spatial block b as soon as iteration i has moved on to block b+1,
+// so at steady state the graph behaves like a macro-pipeline whose stages
+// are the spatial blocks.
+type Pipeline struct {
+	// Latency is the single-iteration makespan.
+	Latency float64
+	// BlockDurations holds each spatial block's occupancy time.
+	BlockDurations []float64
+	// InitiationInterval is the steady-state time between consecutive
+	// iterations: the duration of the slowest spatial block.
+	InitiationInterval float64
+}
+
+// AnalyzePipeline derives the macro-pipeline view from a schedule.
+func AnalyzePipeline(t *core.TaskGraph, r *Result) Pipeline {
+	p := Pipeline{Latency: r.Makespan}
+	for i := range r.Partition.Blocks {
+		start := r.BlockStart[i]
+		end := start
+		for _, v := range r.Partition.Blocks[i].Nodes {
+			if r.LO[v] > end {
+				end = r.LO[v]
+			}
+		}
+		d := end - start
+		p.BlockDurations = append(p.BlockDurations, d)
+		if d > p.InitiationInterval {
+			p.InitiationInterval = d
+		}
+	}
+	return p
+}
+
+// Makespan returns the completion time of n pipelined iterations:
+// latency for the first plus one initiation interval for each of the rest.
+func (p Pipeline) Makespan(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return p.Latency + float64(n-1)*p.InitiationInterval
+}
+
+// Throughput returns iterations per cycle at steady state.
+func (p Pipeline) Throughput() float64 {
+	if p.InitiationInterval == 0 {
+		return math.Inf(1)
+	}
+	return 1 / p.InitiationInterval
+}
+
+// PipelinedSpeedup returns the speedup of executing n iterations pipelined
+// versus running n back-to-back copies of the single-iteration schedule.
+func (p Pipeline) PipelinedSpeedup(n int) float64 {
+	if n <= 0 || p.Makespan(n) == 0 {
+		return 0
+	}
+	return float64(n) * p.Latency / p.Makespan(n)
+}

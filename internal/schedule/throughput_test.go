@@ -1,0 +1,100 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestPipelineSingleBlock: with one spatial block, the initiation interval
+// equals the latency and pipelining degenerates to back-to-back execution.
+func TestPipelineSingleBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tg := synth.Chain(6, rng, synth.SmallConfig())
+	res, err := Schedule(tg, AllInOneBlock(tg), tg.NumComputeNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := AnalyzePipeline(tg, res)
+	if p.InitiationInterval != p.Latency {
+		t.Errorf("II %g != latency %g for a single block", p.InitiationInterval, p.Latency)
+	}
+	if got := p.Makespan(3); got != 3*p.Latency {
+		t.Errorf("3 iterations take %g, want %g", got, 3*p.Latency)
+	}
+	if sp := p.PipelinedSpeedup(5); math.Abs(sp-1) > 1e-9 {
+		t.Errorf("speedup %g, want 1", sp)
+	}
+}
+
+// TestPipelineMultiBlock: with several blocks, the initiation interval is
+// the slowest block and pipelined throughput beats back-to-back execution.
+func TestPipelineMultiBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tg := synth.Cholesky(6, rng, synth.SmallConfig())
+	part, err := PartitionLTS(tg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule(tg, part, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := AnalyzePipeline(tg, res)
+	if len(p.BlockDurations) != part.NumBlocks() {
+		t.Fatalf("durations %d != blocks %d", len(p.BlockDurations), part.NumBlocks())
+	}
+	var maxDur, sum float64
+	for _, d := range p.BlockDurations {
+		if d < 0 {
+			t.Fatalf("negative block duration %g", d)
+		}
+		sum += d
+		if d > maxDur {
+			maxDur = d
+		}
+	}
+	if p.InitiationInterval != maxDur {
+		t.Errorf("II %g != max block duration %g", p.InitiationInterval, maxDur)
+	}
+	// Block durations tile the latency exactly (blocks run back to back).
+	if math.Abs(sum-p.Latency) > 1e-9 {
+		t.Errorf("sum of block durations %g != latency %g", sum, p.Latency)
+	}
+	if part.NumBlocks() > 1 {
+		if sp := p.PipelinedSpeedup(100); sp <= 1 {
+			t.Errorf("pipelined speedup %g, want > 1 with %d blocks", sp, part.NumBlocks())
+		}
+		if p.Throughput() <= 1/p.Latency {
+			t.Errorf("throughput %g no better than unpipelined %g", p.Throughput(), 1/p.Latency)
+		}
+	}
+}
+
+// TestPipelineMakespanMonotone: more iterations never finish earlier.
+func TestPipelineMakespanMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tg := synth.Gaussian(6, rng, synth.SmallConfig())
+	part, err := PartitionRLX(tg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule(tg, part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := AnalyzePipeline(tg, res)
+	prev := 0.0
+	for n := 1; n <= 5; n++ {
+		m := p.Makespan(n)
+		if m <= prev {
+			t.Errorf("makespan(%d) = %g not increasing (prev %g)", n, m, prev)
+		}
+		prev = m
+	}
+	if p.Makespan(0) != 0 {
+		t.Errorf("makespan(0) = %g", p.Makespan(0))
+	}
+}

@@ -1,0 +1,350 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Result is a complete streaming schedule: the partition, per-node times,
+// block-local streaming intervals, and PE assignments.
+type Result struct {
+	Partition Partition
+
+	// ST, FO, LO are the starting, first-out, and last-out times of every
+	// node (Section 5.1). For sinks FO = LO = arrival of the last element.
+	ST, FO, LO []float64
+
+	// So, Si are the block-local steady-state streaming intervals of every
+	// node, computed per weakly connected component of the buffer-split
+	// subgraph induced by the node's block (Theorem 4.1 applied per block).
+	So, Si []float64
+
+	// Comp is the per-block WCC index of each node (head side for buffers),
+	// unique across blocks.
+	Comp []int
+
+	// PE assigns every computational node a processing element in
+	// [0, P); -1 for passive nodes.
+	PE []int
+
+	// BlockStart[i] is the barrier time at which block i begins: all tasks
+	// of block i-1 have completed (Section 5.1).
+	BlockStart []float64
+
+	// Makespan is the schedule length: max finishing time over all nodes.
+	Makespan float64
+}
+
+// Schedule computes the streaming schedule for a frozen canonical task graph
+// under the given partition. P is the number of processing elements and is
+// only used to validate the partition and assign PEs.
+func Schedule(t *core.TaskGraph, part Partition, p int) (*Result, error) {
+	if err := part.Validate(t, p); err != nil {
+		return nil, err
+	}
+	n := t.G.Len()
+	r := &Result{
+		Partition:  part,
+		ST:         make([]float64, n),
+		FO:         make([]float64, n),
+		LO:         make([]float64, n),
+		So:         make([]float64, n),
+		Si:         make([]float64, n),
+		Comp:       make([]int, n),
+		PE:         make([]int, n),
+		BlockStart: make([]float64, len(part.Blocks)),
+	}
+	for v := range r.PE {
+		r.PE[v] = -1
+	}
+
+	// bufferFill[v]: for buffer nodes, the time the tail has received all
+	// its input; consumers in later blocks read from memory and only need
+	// the fill time, not the emission time.
+	bufferFill := make([]float64, n)
+
+	compBase := 0
+	blockStart := 0.0
+	for bi, blk := range part.Blocks {
+		r.BlockStart[bi] = blockStart
+		compBase = r.blockIntervals(t, blk, compBase)
+		r.assignPEs(t, blk)
+		end := r.blockTimes(t, part, blk, blockStart, bufferFill)
+		if end > r.Makespan {
+			r.Makespan = end
+		}
+		// Barrier: the next block starts once every task of this block has
+		// completed.
+		blockStart = end
+	}
+	return r, nil
+}
+
+// blockIntervals computes block-local streaming intervals (Theorem 4.1 on
+// the subgraph induced by the block, after buffer splitting) and stores them
+// into r.So/r.Si/r.Comp. compBase offsets component IDs so they stay unique
+// across blocks; the new base is returned.
+func (r *Result) blockIntervals(t *core.TaskGraph, blk Block, compBase int) int {
+	inBlk := make(map[graph.NodeID]int, len(blk.Nodes)) // node -> local index
+	for i, v := range blk.Nodes {
+		inBlk[v] = i
+	}
+
+	// Build the buffer-split subgraph: local node i for each block node;
+	// buffers get an extra head node appended.
+	sub := graph.New()
+	owner := make([]graph.NodeID, 0, len(blk.Nodes)+4)
+	head := make(map[graph.NodeID]graph.NodeID, 4)
+	for _, v := range blk.Nodes {
+		sub.AddNode()
+		owner = append(owner, v)
+	}
+	for _, v := range blk.Nodes {
+		if t.Nodes[v].Kind == core.Buffer {
+			h := sub.AddNode()
+			owner = append(owner, v)
+			head[v] = h
+		}
+	}
+	for _, v := range blk.Nodes {
+		for _, w := range t.G.Succs(v) {
+			wi, ok := inBlk[w]
+			if !ok {
+				continue // cross-block edge: buffered, not part of the stream
+			}
+			from := graph.NodeID(inBlk[v])
+			if h, isBuf := head[v]; isBuf {
+				from = h
+			}
+			sub.MustEdge(from, graph.NodeID(wi), t.G.Volume(v, w))
+		}
+	}
+
+	comp, count := sub.WCC()
+	maxOut := make([]int64, count)
+	for sv := 0; sv < sub.Len(); sv++ {
+		v := owner[sv]
+		node := t.Nodes[v]
+		out := node.Out
+		if node.Kind == core.Buffer && head[v] != graph.NodeID(sv) {
+			out = 0 // tail side produces nothing downstream
+		}
+		// A node that ingests data produced outside this stream (a block
+		// source re-reading memory, or a buffer head replaying its content)
+		// is still rate-limited to one element per cycle per input edge, so
+		// its input volume bounds the component period too. For nodes fed
+		// within the component this is a no-op: their In equals the
+		// producer's Out, which is already counted.
+		if node.Kind != core.Source && t.G.InDegree(v) > 0 && node.In > out {
+			if !(node.Kind == core.Buffer && head[v] == graph.NodeID(sv)) {
+				out = node.In
+			}
+		}
+		if out > maxOut[comp[sv]] {
+			maxOut[comp[sv]] = out
+		}
+	}
+
+	for i, v := range blk.Nodes {
+		node := t.Nodes[v]
+		headSide := i
+		if h, isBuf := head[v]; isBuf {
+			headSide = int(h)
+		}
+		r.Comp[v] = compBase + comp[headSide]
+		if node.Kind != core.Sink && node.Out > 0 {
+			r.So[v] = float64(maxOut[comp[headSide]]) / float64(node.Out)
+			if r.So[v] < 1 {
+				r.So[v] = 1
+			}
+		}
+		if node.Kind != core.Source && node.In > 0 {
+			r.Si[v] = float64(maxOut[comp[i]]) / float64(node.In)
+			if r.Si[v] < 1 {
+				r.Si[v] = 1
+			}
+		}
+	}
+	return compBase + count
+}
+
+// assignPEs gives each computational node of the block a PE index.
+func (r *Result) assignPEs(t *core.TaskGraph, blk Block) {
+	pe := 0
+	for _, v := range blk.Nodes {
+		if countsTowardP(t, v) {
+			r.PE[v] = pe
+			pe++
+		}
+	}
+}
+
+// blockTimes evaluates the ST/FO/LO recurrences of Section 5.1 for one block
+// and returns the completion time of the block (max LO over its nodes).
+func (r *Result) blockTimes(t *core.TaskGraph, part Partition, blk Block, blockStart float64, bufferFill []float64) float64 {
+	inBlk := make(map[graph.NodeID]bool, len(blk.Nodes))
+	for _, v := range blk.Nodes {
+		inBlk[v] = true
+	}
+
+	// Topological order restricted to the block (global topo order works).
+	topo := t.G.Topo()
+	end := blockStart
+	for _, v := range topo {
+		if !inBlk[v] {
+			continue
+		}
+		node := t.Nodes[v]
+		graphSource := t.G.InDegree(v) == 0
+
+		// Classify predecessors and gather their contribution.
+		maxInFO := math.Inf(-1)   // max FO over in-block predecessors
+		maxOutLO := math.Inf(-1)  // max (memory-availability) over cross-block predecessors
+		maxPredLO := math.Inf(-1) // max LO over all predecessors (block-local view)
+		hasInPred := false
+		for _, u := range t.G.Preds(v) {
+			if inBlk[u] {
+				hasInPred = true
+				if r.FO[u] > maxInFO {
+					maxInFO = r.FO[u]
+				}
+				if r.LO[u] > maxPredLO {
+					maxPredLO = r.LO[u]
+				}
+			} else {
+				avail := r.LO[u]
+				if t.Nodes[u].Kind == core.Buffer {
+					avail = bufferFill[u] // data is in memory once the tail filled
+				}
+				if avail > maxOutLO {
+					maxOutLO = avail
+				}
+				if avail > maxPredLO {
+					maxPredLO = avail
+				}
+			}
+		}
+
+		rate := node.Rate()
+		switch {
+		case node.Kind == core.Sink:
+			// Sinks absorb into memory; the last element arrives when the
+			// slowest producer emits it.
+			r.ST[v] = math.Max(blockStart, maxInFO)
+			if !hasInPred {
+				r.ST[v] = math.Max(blockStart, maxOutLO)
+			}
+			r.FO[v] = math.Max(blockStart, maxPredLO)
+			r.LO[v] = r.FO[v]
+
+		case node.Kind == core.Buffer:
+			// A buffer waits for the completion of all preceding tasks,
+			// then emits O elements at its head interval.
+			base := math.Max(blockStart, maxPredLO)
+			if math.IsInf(base, -1) {
+				base = blockStart
+			}
+			bufferFill[v] = base
+			r.ST[v] = base
+			r.FO[v] = base + 1
+			r.LO[v] = base + math.Ceil((float64(node.Out)-1)*r.So[v]) + 1
+
+		case graphSource:
+			// Source of the whole task graph (explicit Source node or an
+			// entry computational task reading from memory).
+			r.ST[v] = blockStart
+			r.FO[v] = blockStart + 1
+			r.LO[v] = blockStart + math.Ceil((float64(node.Out)-1)*r.So[v]) + 1
+
+		case !hasInPred:
+			// Source of the block but not of the graph: waits for the
+			// completion of tasks in previous blocks, then streams its data
+			// from memory. Unlike a graph source it has a real input volume;
+			// re-reading it at one element per cycle floors the last-out
+			// time at In cycles.
+			base := math.Max(blockStart, maxOutLO)
+			r.ST[v] = base
+			if rate > 0 && rate < 1 {
+				r.FO[v] = base + math.Ceil((1/rate-1)*r.Si[v]) + 1
+			} else {
+				r.FO[v] = base + 1
+			}
+			r.LO[v] = base + math.Max(
+				math.Ceil((float64(node.Out)-1)*r.So[v])+1,
+				float64(node.In))
+			if fo := r.FO[v]; r.LO[v] < fo {
+				r.LO[v] = fo
+			}
+
+		default:
+			// Interior node of the block: Equation (3) and the first-out
+			// recurrence. Mixed predecessors (some cross-block) contribute
+			// their memory availability to the start.
+			base := math.Max(blockStart, maxInFO)
+			if !math.IsInf(maxOutLO, -1) {
+				base = math.Max(base, maxOutLO)
+			}
+			r.ST[v] = base
+			if rate > 0 && rate < 1 {
+				r.FO[v] = base + math.Ceil((1/rate-1)*r.Si[v]) + 1
+			} else {
+				r.FO[v] = base + 1
+			}
+			loBase := math.Max(blockStart, maxPredLO)
+			if rate > 1 {
+				r.LO[v] = loBase + math.Ceil((rate-1)*r.So[v]) + 1
+			} else {
+				r.LO[v] = loBase + 1
+			}
+			if r.LO[v] < r.FO[v] {
+				r.LO[v] = r.FO[v]
+			}
+		}
+
+		if r.LO[v] > end {
+			end = r.LO[v]
+		}
+	}
+	return end
+}
+
+// SequentialTime returns T1: the sum of node works, i.e. the single-PE
+// execution time (Section 4.2).
+func SequentialTime(t *core.TaskGraph) float64 { return t.Work() }
+
+// Speedup returns T1 / makespan for this schedule.
+func (r *Result) Speedup(t *core.TaskGraph) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return SequentialTime(t) / r.Makespan
+}
+
+// SSLR returns the Streaming Scheduling Length Ratio: makespan divided by
+// the streaming depth T_s-infinity of the DAG (Section 7, comparison
+// metrics). It is >= 1 and reaches 1 when the schedule matches the
+// infinite-PE single-block execution.
+func (r *Result) SSLR(t *core.TaskGraph) float64 {
+	d := StreamingDepth(t)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return r.Makespan / d
+}
+
+// Utilization returns T1 / (P * makespan): the average fraction of the
+// device kept busy.
+func (r *Result) Utilization(t *core.TaskGraph, p int) float64 {
+	if r.Makespan == 0 || p == 0 {
+		return 0
+	}
+	return SequentialTime(t) / (float64(p) * r.Makespan)
+}
+
+// String summarizes the schedule for debugging.
+func (r *Result) String() string {
+	return fmt.Sprintf("schedule{blocks=%d makespan=%g}", len(r.Partition.Blocks), r.Makespan)
+}

@@ -1,0 +1,301 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// singleBlock puts every node in one spatial block, in ID order.
+func singleBlock(t *core.TaskGraph) Partition {
+	p := Partition{BlockOf: make([]int, t.G.Len())}
+	b := Block{}
+	for v := 0; v < t.G.Len(); v++ {
+		b.Nodes = append(b.Nodes, graph.NodeID(v))
+		if t.Nodes[v].Kind == core.Compute {
+			b.ComputeCount++
+		}
+	}
+	p.Blocks = []Block{b}
+	return p
+}
+
+func mustSchedule(t *testing.T, tg *core.TaskGraph, part Partition, p int) *Result {
+	t.Helper()
+	if err := tg.Freeze(); err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	res, err := Schedule(tg, part, p)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	return res
+}
+
+func wantTimes(t *testing.T, r *Result, v graph.NodeID, st, lo, fo float64) {
+	t.Helper()
+	if r.ST[v] != st || r.LO[v] != lo || r.FO[v] != fo {
+		t.Errorf("node %d: got ST=%g LO=%g FO=%g, want ST=%g LO=%g FO=%g",
+			v, r.ST[v], r.LO[v], r.FO[v], st, lo, fo)
+	}
+}
+
+// fig8Graph reconstructs the spatial block of Figure 8:
+// 0 (entry, O=16) -> 1 (downsampler 16->4) -> 2 (element-wise 4),
+// 0 -> 3 (upsampler 16->32) -> 4 (downsampler 32->8).
+func fig8Graph() *core.TaskGraph {
+	tg := core.New()
+	n0 := tg.AddElementWise("t0", 16)
+	n1 := tg.AddCompute("t1", 16, 4)
+	n2 := tg.AddElementWise("t2", 4)
+	n3 := tg.AddCompute("t3", 16, 32)
+	n4 := tg.AddCompute("t4", 32, 8)
+	tg.MustConnect(n0, n1)
+	tg.MustConnect(n1, n2)
+	tg.MustConnect(n0, n3)
+	tg.MustConnect(n3, n4)
+	return tg
+}
+
+// TestScheduleFig8 reproduces the exact ST/LO/FO table of Figure 8.
+func TestScheduleFig8(t *testing.T) {
+	tg := fig8Graph()
+	r := mustSchedule(t, tg, singleBlock(tg), 5)
+
+	// Streaming intervals: max O in the single WCC is 32 (node 3).
+	wantSo := []float64{2, 8, 8, 1, 4}
+	for v, want := range wantSo {
+		if r.So[v] != want {
+			t.Errorf("So[%d] = %g, want %g", v, r.So[v], want)
+		}
+	}
+
+	wantTimes(t, r, 0, 0, 31, 1)
+	wantTimes(t, r, 1, 1, 32, 8)
+	wantTimes(t, r, 2, 8, 33, 9)
+	wantTimes(t, r, 3, 1, 33, 2)
+	wantTimes(t, r, 4, 2, 34, 6)
+	if r.Makespan != 34 {
+		t.Errorf("makespan = %g, want 34", r.Makespan)
+	}
+}
+
+// fig9Graph1 is task graph (1) of Figure 9: a diamond with reducers on the
+// left path. 0 (entry, O=32) -> 1 (32->4) -> 2 (4->2) -> 3 (2->32) -> 4;
+// 0 -> 4 (element-wise on 32).
+func fig9Graph1() *core.TaskGraph {
+	tg := core.New()
+	n0 := tg.AddElementWise("t0", 32)
+	n1 := tg.AddCompute("t1", 32, 4)
+	n2 := tg.AddCompute("t2", 4, 2)
+	n3 := tg.AddCompute("t3", 2, 32)
+	n4 := tg.AddElementWise("t4", 32)
+	tg.MustConnect(n0, n1)
+	tg.MustConnect(n1, n2)
+	tg.MustConnect(n2, n3)
+	tg.MustConnect(n3, n4)
+	tg.MustConnect(n0, n4)
+	return tg
+}
+
+func TestScheduleFig9Graph1(t *testing.T) {
+	tg := fig9Graph1()
+	r := mustSchedule(t, tg, singleBlock(tg), 5)
+	wantTimes(t, r, 0, 0, 32, 1)
+	wantTimes(t, r, 1, 1, 33, 9)
+	wantTimes(t, r, 2, 9, 34, 18)
+	wantTimes(t, r, 3, 18, 50, 19)
+	wantTimes(t, r, 4, 19, 51, 20)
+}
+
+// fig9Graph2 is task graph (2) of Figure 9: two chains joining at task 5.
+// 0 (O=32) -> 1 (32->1) -> 2 (1->32) -> 5; 3 (O=32) -> 4 (elwise 32) -> 5.
+func fig9Graph2() *core.TaskGraph {
+	tg := core.New()
+	n0 := tg.AddElementWise("t0", 32)
+	n1 := tg.AddCompute("t1", 32, 1)
+	n2 := tg.AddCompute("t2", 1, 32)
+	n3 := tg.AddElementWise("t3", 32)
+	n4 := tg.AddElementWise("t4", 32)
+	n5 := tg.AddElementWise("t5", 32)
+	tg.MustConnect(n0, n1)
+	tg.MustConnect(n1, n2)
+	tg.MustConnect(n2, n5)
+	tg.MustConnect(n3, n4)
+	tg.MustConnect(n4, n5)
+	return tg
+}
+
+func TestScheduleFig9Graph2(t *testing.T) {
+	tg := fig9Graph2()
+	r := mustSchedule(t, tg, singleBlock(tg), 6)
+	wantTimes(t, r, 0, 0, 32, 1)
+	wantTimes(t, r, 1, 1, 33, 33)
+	wantTimes(t, r, 2, 33, 65, 34)
+	wantTimes(t, r, 3, 0, 32, 1)
+	wantTimes(t, r, 4, 1, 33, 2)
+	wantTimes(t, r, 5, 34, 66, 35)
+}
+
+// TestStreamingIntervalsFig6 checks the upsampler example of Figure 6:
+// u (element-wise on K) feeding v (upsampler K -> 4K) forces S_o(u) = 4.
+func TestStreamingIntervalsFig6(t *testing.T) {
+	tg := core.New()
+	u := tg.AddElementWise("u", 8)
+	v := tg.AddCompute("v", 8, 32)
+	tg.MustConnect(u, v)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	iv := tg.StreamingIntervals()
+	if iv.So[u] != 4 {
+		t.Errorf("So(u) = %g, want 4", iv.So[u])
+	}
+	if iv.So[v] != 1 {
+		t.Errorf("So(v) = %g, want 1", iv.So[v])
+	}
+	if iv.Si[v] != 4 {
+		t.Errorf("Si(v) = %g, want 4", iv.Si[v])
+	}
+}
+
+// TestStreamingIntervalsFig7 checks that buffer splitting creates
+// independent weakly connected components whose intervals do not interact
+// (the mechanism of Figure 7).
+func TestStreamingIntervalsFig7(t *testing.T) {
+	tg := core.New()
+	s := tg.AddElementWise("s", 32)     // entry, O=32
+	d := tg.AddCompute("d", 32, 4)      // downsampler
+	b := tg.AddBuffer("b", 4, 8)        // buffer reshapes 4 -> 8
+	e8 := tg.AddElementWise("e8", 8)    // consumer side
+	u := tg.AddCompute("u", 8, 32)      // upsampler back to 32
+	e32 := tg.AddElementWise("e32", 32) // tail of second component
+	tg.MustConnect(s, d)
+	tg.MustConnect(d, b)
+	tg.MustConnect(b, e8)
+	tg.MustConnect(e8, u)
+	tg.MustConnect(u, e32)
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	iv := tg.StreamingIntervals()
+	if iv.NumComp != 2 {
+		t.Fatalf("NumComp = %d, want 2", iv.NumComp)
+	}
+	// WCC0 (s, d, buffer tail): max O = 32 -> So(s)=1, So(d)=8.
+	if iv.So[s] != 1 || iv.So[d] != 8 {
+		t.Errorf("WCC0 intervals: So(s)=%g So(d)=%g, want 1, 8", iv.So[s], iv.So[d])
+	}
+	// WCC1 (buffer head, e8, u, e32): max O = 32 -> So(head)=4, So(e8)=4,
+	// So(u)=So(e32)=1.
+	if iv.So[b] != 4 || iv.So[e8] != 4 || iv.So[u] != 1 || iv.So[e32] != 1 {
+		t.Errorf("WCC1 intervals: got So(b)=%g So(e8)=%g So(u)=%g So(e32)=%g",
+			iv.So[b], iv.So[e8], iv.So[u], iv.So[e32])
+	}
+	if iv.Comp[s] == iv.Comp[e8] {
+		t.Errorf("buffer did not split components: Comp(s)=%d Comp(e8)=%d", iv.Comp[s], iv.Comp[e8])
+	}
+	if iv.TailComp[b] != iv.Comp[s] || iv.Comp[b] != iv.Comp[e8] {
+		t.Errorf("buffer tail/head component mismatch")
+	}
+}
+
+// TestElementWiseChainDepth checks T_s-inf = k + L(G) - 1 for an
+// element-wise chain (Section 4.2.1).
+func TestElementWiseChainDepth(t *testing.T) {
+	const n, k = 8, 100
+	tg := core.New()
+	prev := tg.AddElementWise("t0", k)
+	for i := 1; i < n; i++ {
+		cur := tg.AddElementWise("t", k)
+		tg.MustConnect(prev, cur)
+		prev = cur
+	}
+	if err := tg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tg.StreamingDepth(), float64(k+n-1); got != want {
+		t.Errorf("streaming depth = %g, want %g", got, want)
+	}
+	if got, want := tg.Work(), float64(n*k); got != want {
+		t.Errorf("work = %g, want %g", got, want)
+	}
+}
+
+// TestChainSpeedupWithEnoughPEs: a streaming chain of N element-wise tasks
+// on N PEs approaches speedup N as k grows (Section 7.1, Chain topology).
+func TestChainSpeedupWithEnoughPEs(t *testing.T) {
+	const n, k = 8, 1000
+	tg := core.New()
+	prev := tg.AddElementWise("t0", k)
+	for i := 1; i < n; i++ {
+		cur := tg.AddElementWise("t", k)
+		tg.MustConnect(prev, cur)
+		prev = cur
+	}
+	part := singleBlock(tg)
+	r := mustSchedule(t, tg, part, n)
+	sp := r.Speedup(tg)
+	if sp < float64(n)*0.95 {
+		t.Errorf("chain speedup = %g, want close to %d", sp, n)
+	}
+	if r.Makespan != float64(k+n-1)+0 {
+		// LO of the last task: source LO = k, then +1 per hop.
+		t.Errorf("makespan = %g, want %d", r.Makespan, k+n-1)
+	}
+}
+
+// TestScheduleTwoBlocks: a chain split across two blocks runs the second
+// block after the first completes, with buffered communication in between.
+func TestScheduleTwoBlocks(t *testing.T) {
+	const k = 64
+	tg := core.New()
+	a := tg.AddElementWise("a", k)
+	b := tg.AddElementWise("b", k)
+	c := tg.AddElementWise("c", k)
+	d := tg.AddElementWise("d", k)
+	tg.MustConnect(a, b)
+	tg.MustConnect(b, c)
+	tg.MustConnect(c, d)
+	part := Partition{
+		Blocks: []Block{
+			{Nodes: []graph.NodeID{a, b}, ComputeCount: 2},
+			{Nodes: []graph.NodeID{c, d}, ComputeCount: 2},
+		},
+		BlockOf: []int{0, 0, 1, 1},
+	}
+	r := mustSchedule(t, tg, part, 2)
+	// Block 0: a is a graph source (LO = k), b element-wise (LO = k+1).
+	if r.LO[a] != k || r.LO[b] != k+1 {
+		t.Fatalf("block0 LO: a=%g b=%g", r.LO[a], r.LO[b])
+	}
+	// Block 1 starts at k+1; c is a block source streaming k elements from
+	// memory: LO = (k+1) + k; d follows one cycle later.
+	if r.BlockStart[1] != k+1 {
+		t.Fatalf("BlockStart[1] = %g, want %d", r.BlockStart[1], k+1)
+	}
+	if r.LO[c] != 2*k+1 || r.LO[d] != 2*k+2 {
+		t.Errorf("block1 LO: c=%g d=%g, want %d, %d", r.LO[c], r.LO[d], 2*k+1, 2*k+2)
+	}
+	if r.Makespan != 2*k+2 {
+		t.Errorf("makespan = %g, want %d", r.Makespan, 2*k+2)
+	}
+	if !part.Streaming(tg, a, b) || part.Streaming(tg, b, c) {
+		t.Errorf("streaming classification wrong across blocks")
+	}
+}
+
+// TestUtilizationBounds: utilization is in (0, 1].
+func TestUtilizationBounds(t *testing.T) {
+	tg := fig8Graph()
+	r := mustSchedule(t, tg, singleBlock(tg), 5)
+	u := r.Utilization(tg, 5)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %g, want in (0,1]", u)
+	}
+	if math.IsInf(r.SSLR(tg), 0) || r.SSLR(tg) < 1-1e-9 {
+		t.Errorf("SSLR = %g, want finite and >= 1", r.SSLR(tg))
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("median/min/max = %g/%g/%g", s.Median, s.Min, s.Max)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %g, %g, want 2, 4", s.Q1, s.Q3)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %g, want 3", s.Mean)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Median != 7 || s.Q1 != 7 || s.Q3 != 7 || s.N != 1 {
+		t.Errorf("degenerate summary wrong: %+v", s)
+	}
+}
+
+func TestOutlierDetection(t *testing.T) {
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 100}
+	s := Summarize(xs)
+	if len(s.Outliers) != 1 || s.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", s.Outliers)
+	}
+	if s.WhiskHigh == 100 {
+		t.Errorf("whisker includes outlier")
+	}
+}
+
+// TestSummarizeInvariants: property-based checks on random samples.
+func TestSummarizeInvariants(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%100) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		ordered := s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+		whisk := s.WhiskLow >= s.Min && s.WhiskHigh <= s.Max && s.WhiskLow <= s.WhiskHigh
+		within := s.Mean >= s.Min && s.Mean <= s.Max
+		return ordered && whisk && within && s.N == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSummarizeDoesNotMutate: the input slice order is preserved.
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+// TestQuantileMatchesSort: median of an even sample interpolates.
+func TestQuantileMatchesSort(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	s := Summarize(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	want := (sorted[1] + sorted[2]) / 2
+	if math.Abs(s.Median-want) > 1e-12 {
+		t.Errorf("median = %g, want %g", s.Median, want)
+	}
+}

@@ -1,0 +1,267 @@
+// Package synth generates the synthetic canonical task graphs of the
+// paper's evaluation (Section 7.1): Tasks Chain, Fast Fourier Transform,
+// Gaussian Elimination, and tiled Cholesky Factorization. For a given
+// topology, different DAGs are obtained by randomly generating data volumes
+// and production rates, so every instance mixes element-wise, downsampler,
+// and upsampler nodes. No buffer nodes are introduced, so all edges can be
+// streaming within a spatial block, exactly as in the paper.
+//
+// Random rate assignment is structured per level/step so that the result is
+// canonical by construction: every node receives the same volume on all its
+// input edges because all producers feeding it share the same step.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Rate is a production rate expressed as the exact fraction Num/Den.
+type Rate struct{ Num, Den int64 }
+
+// Apply returns v*Num/Den and whether the result is integral and positive.
+func (r Rate) Apply(v int64) (int64, bool) {
+	x := v * r.Num
+	if x%r.Den != 0 {
+		return 0, false
+	}
+	x /= r.Den
+	return x, x > 0
+}
+
+// Config bounds the random volume assignment.
+type Config struct {
+	// MinBase and MaxBase bound the base data volume drawn per graph.
+	MinBase, MaxBase int64
+	// MaxVolume caps any volume in the graph; random rates that would
+	// exceed it (or drop below MinVolume) are rejected.
+	MaxVolume int64
+	// MinVolume floors any volume in the graph.
+	MinVolume int64
+	// Rates are the candidate production rates for randomized steps.
+	Rates []Rate
+}
+
+// DefaultConfig mirrors the paper's setup in spirit: small power-of-two
+// volumes and rates between 1/4 and 4.
+func DefaultConfig() Config {
+	return Config{
+		MinBase:   16,
+		MaxBase:   128,
+		MaxVolume: 4096,
+		MinVolume: 2,
+		Rates: []Rate{
+			{1, 4}, {1, 2}, {1, 1}, {1, 1}, {2, 1}, {4, 1},
+		},
+	}
+}
+
+// SmallConfig keeps volumes small enough for element-level discrete-event
+// simulation of hundreds of graphs (Appendix B validation).
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.MinBase, c.MaxBase, c.MaxVolume = 8, 32, 512
+	return c
+}
+
+// base draws the per-graph base volume as a power of two in range.
+func (c Config) base(rng *rand.Rand) int64 {
+	v := int64(1)
+	for v < c.MinBase {
+		v *= 2
+	}
+	var choices []int64
+	for x := v; x <= c.MaxBase; x *= 2 {
+		choices = append(choices, x)
+	}
+	if len(choices) == 0 {
+		return c.MinBase
+	}
+	return choices[rng.Intn(len(choices))]
+}
+
+// next draws a random rate applicable to cur within the volume bounds and
+// returns the resulting volume. Falls back to rate 1 when nothing fits.
+func (c Config) next(rng *rand.Rand, cur int64) int64 {
+	for attempt := 0; attempt < 8; attempt++ {
+		r := c.Rates[rng.Intn(len(c.Rates))]
+		if v, ok := r.Apply(cur); ok && v >= c.MinVolume && v <= c.MaxVolume {
+			return v
+		}
+	}
+	return cur
+}
+
+// Chain builds a linear chain of n tasks: task i receives data from task
+// i-1 and sends to task i+1. Rates are drawn per task.
+func Chain(n int, rng *rand.Rand, cfg Config) *core.TaskGraph {
+	if n < 1 {
+		panic(fmt.Sprintf("synth: chain needs n >= 1, got %d", n))
+	}
+	tg := core.New()
+	w := cfg.base(rng)
+	out := cfg.next(rng, w)
+	prev := tg.AddCompute("chain0", w, out)
+	w = out
+	for i := 1; i < n; i++ {
+		out = cfg.next(rng, w)
+		cur := tg.AddCompute(fmt.Sprintf("chain%d", i), w, out)
+		tg.MustConnect(prev, cur)
+		prev, w = cur, out
+	}
+	mustFreeze(tg)
+	return tg
+}
+
+// FFT builds the one-dimensional FFT task graph for the given number of
+// input points (a power of two): a binary tree of 2*points-1 recursive-call
+// tasks followed by log2(points) levels of points butterfly tasks each, for
+// 2*points-1 + points*log2(points) tasks total (223 for 32 points, as in
+// Figure 10).
+func FFT(points int, rng *rand.Rand, cfg Config) *core.TaskGraph {
+	if points < 2 || points&(points-1) != 0 {
+		panic(fmt.Sprintf("synth: FFT needs a power-of-two point count >= 2, got %d", points))
+	}
+	stages := 0
+	for 1<<stages < points {
+		stages++
+	}
+	tg := core.New()
+	w := cfg.base(rng)
+
+	// Recursive-call tree: depth d has 2^d nodes; the node at depth d
+	// consumes points/2^d * w and splits it in half to each child
+	// (production rate 1/2 per edge).
+	tree := make([][]graph.NodeID, stages+1)
+	vol := int64(points) * w
+	for d := 0; d <= stages; d++ {
+		count := 1 << d
+		tree[d] = make([]graph.NodeID, count)
+		outVol := vol / 2
+		if d == stages {
+			outVol = cfg.next(rng, vol) // leaves: random rate into butterflies
+		}
+		for i := 0; i < count; i++ {
+			tree[d][i] = tg.AddCompute(fmt.Sprintf("call%d.%d", d, i), vol, outVol)
+			if d > 0 {
+				tg.MustConnect(tree[d-1][i/2], tree[d][i])
+			}
+		}
+		vol = outVol
+	}
+
+	// Butterfly stages: node i at stage s takes inputs from nodes i and
+	// i XOR 2^s of the previous level. Rates are drawn per stage so every
+	// butterfly's two inputs carry the same volume.
+	prev := tree[stages]
+	for s := 0; s < stages; s++ {
+		outVol := cfg.next(rng, vol)
+		cur := make([]graph.NodeID, points)
+		for i := 0; i < points; i++ {
+			cur[i] = tg.AddCompute(fmt.Sprintf("bfly%d.%d", s, i), vol, outVol)
+			tg.MustConnect(prev[i], cur[i])
+			tg.MustConnect(prev[i^(1<<s)], cur[i])
+		}
+		prev, vol = cur, outVol
+	}
+	mustFreeze(tg)
+	return tg
+}
+
+// Gaussian builds the Gaussian-elimination task graph for an m x m matrix:
+// steps k = 1..m-1, each with one pivot task and m-k update tasks, for
+// (m^2+m-2)/2 tasks total (135 for m = 16, as in Figure 10). Pivots are
+// element-wise; updates draw a random rate per step.
+func Gaussian(m int, rng *rand.Rand, cfg Config) *core.TaskGraph {
+	if m < 2 {
+		panic(fmt.Sprintf("synth: Gaussian needs m >= 2, got %d", m))
+	}
+	tg := core.New()
+	w := cfg.base(rng)
+
+	// update[j] holds the previous step's update task for column j.
+	update := make(map[int]graph.NodeID, m)
+	prevPivotCol := -1
+	for k := 1; k < m; k++ {
+		outVol := cfg.next(rng, w)
+		pivot := tg.AddCompute(fmt.Sprintf("piv%d", k), w, w)
+		if prevPivotCol >= 0 {
+			tg.MustConnect(update[prevPivotCol], pivot)
+		}
+		for j := k + 1; j <= m; j++ {
+			u := tg.AddCompute(fmt.Sprintf("upd%d.%d", k, j), w, outVol)
+			tg.MustConnect(pivot, u)
+			if prev, ok := update[j]; ok {
+				tg.MustConnect(prev, u)
+			}
+			update[j] = u
+		}
+		prevPivotCol = k + 1
+		w = outVol
+		// A pivot consumes what the previous step's updates produced; keep
+		// its volumes consistent by treating it as element-wise on the
+		// incoming volume. (Set above at construction: In = Out = w of the
+		// step; see the In/Out arguments.)
+	}
+	mustFreeze(tg)
+	return tg
+}
+
+// Cholesky builds the left-looking tiled Cholesky factorization graph for a
+// t x t tile matrix: per step k one POTRF, t-1-k TRSMs, and one update per
+// pair k < j <= i < t, for t^3/6 + t^2/2 + t/3 tasks total (120 for t = 8,
+// as in Figure 10). POTRF and TRSM are element-wise on the step volume;
+// updates draw a random rate per step.
+func Cholesky(t int, rng *rand.Rand, cfg Config) *core.TaskGraph {
+	if t < 1 {
+		panic(fmt.Sprintf("synth: Cholesky needs t >= 1, got %d", t))
+	}
+	tg := core.New()
+	w := cfg.base(rng)
+
+	// upd[i][j] is the previous step's update task writing tile (i,j).
+	upd := make(map[[2]int]graph.NodeID)
+	for k := 0; k < t; k++ {
+		outVol := cfg.next(rng, w)
+		potrf := tg.AddCompute(fmt.Sprintf("potrf%d", k), w, w)
+		if p, ok := upd[[2]int{k, k}]; ok {
+			tg.MustConnect(p, potrf)
+		}
+		trsm := make(map[int]graph.NodeID, t-k-1)
+		for i := k + 1; i < t; i++ {
+			tr := tg.AddCompute(fmt.Sprintf("trsm%d.%d", k, i), w, w)
+			tg.MustConnect(potrf, tr)
+			if p, ok := upd[[2]int{i, k}]; ok {
+				tg.MustConnect(p, tr)
+			}
+			trsm[i] = tr
+		}
+		newUpd := make(map[[2]int]graph.NodeID)
+		for i := k + 1; i < t; i++ {
+			for j := k + 1; j <= i; j++ {
+				u := tg.AddCompute(fmt.Sprintf("upd%d.%d.%d", k, i, j), w, outVol)
+				tg.MustConnect(trsm[i], u)
+				if j != i {
+					tg.MustConnect(trsm[j], u)
+				}
+				if p, ok := upd[[2]int{i, j}]; ok {
+					tg.MustConnect(p, u)
+				}
+				newUpd[[2]int{i, j}] = u
+			}
+		}
+		upd = newUpd
+		w = outVol
+	}
+	mustFreeze(tg)
+	return tg
+}
+
+func mustFreeze(tg *core.TaskGraph) {
+	if err := tg.Freeze(); err != nil {
+		panic(err)
+	}
+}

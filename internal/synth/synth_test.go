@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+)
+
+// TestTaskCountsMatchPaper verifies the generator node counts against the
+// formulas and the concrete counts reported in Figure 10.
+func TestTaskCountsMatchPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig()
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"Chain(8)", Chain(8, rng, cfg).Len(), 8},
+		{"FFT(32)", FFT(32, rng, cfg).Len(), 223},           // 2*32-1 + 32*5
+		{"Gaussian(16)", Gaussian(16, rng, cfg).Len(), 135}, // (256+16-2)/2
+		{"Cholesky(8)", Cholesky(8, rng, cfg).Len(), 120},   // 512/6+64/2+8/3
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: %d tasks, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestGeneratorsAreCanonical: Freeze (which validates canonicity) must
+// succeed for many random seeds of every topology.
+func TestGeneratorsAreCanonical(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		for _, tg := range []*core.TaskGraph{
+			Chain(8, rng, cfg), FFT(16, rng, cfg), Gaussian(8, rng, cfg), Cholesky(6, rng, cfg),
+		} {
+			if err := tg.Validate(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestDeterministicBySeed: the same seed yields the same graph.
+func TestDeterministicBySeed(t *testing.T) {
+	a := FFT(16, rand.New(rand.NewSource(7)), DefaultConfig())
+	b := FFT(16, rand.New(rand.NewSource(7)), DefaultConfig())
+	if a.Len() != b.Len() {
+		t.Fatalf("node counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for v := 0; v < a.Len(); v++ {
+		if a.Nodes[v] != b.Nodes[v] {
+			t.Fatalf("node %d differs: %+v vs %+v", v, a.Nodes[v], b.Nodes[v])
+		}
+	}
+	ea, eb := a.G.Edges(), b.G.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestRandomizationVariesRates: across seeds, the generators must produce
+// downsamplers, upsamplers and element-wise nodes (the paper's "different
+// types of canonical nodes").
+func TestRandomizationVariesRates(t *testing.T) {
+	var ew, ds, us int
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tg := Gaussian(8, rng, DefaultConfig())
+		for _, n := range tg.Nodes {
+			switch {
+			case n.IsElementWise():
+				ew++
+			case n.IsDownsampler():
+				ds++
+			case n.IsUpsampler():
+				us++
+			}
+		}
+	}
+	if ew == 0 || ds == 0 || us == 0 {
+		t.Errorf("rate mix degenerate: elwise=%d down=%d up=%d", ew, ds, us)
+	}
+}
+
+// TestSchedulableEndToEnd: every topology partitions and schedules without
+// error under both heuristics.
+func TestSchedulableEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultConfig()
+	graphs := map[string]*core.TaskGraph{
+		"chain":    Chain(8, rng, cfg),
+		"fft":      FFT(16, rng, cfg),
+		"gaussian": Gaussian(8, rng, cfg),
+		"cholesky": Cholesky(6, rng, cfg),
+	}
+	for name, tg := range graphs {
+		for _, p := range []int{2, 4, 16} {
+			for _, variant := range []schedule.Variant{schedule.SBLTS, schedule.SBRLX} {
+				part, err := schedule.Algorithm1(tg, p, schedule.Options{Variant: variant})
+				if err != nil {
+					t.Fatalf("%s P=%d %v: partition: %v", name, p, variant, err)
+				}
+				res, err := schedule.Schedule(tg, part, p)
+				if err != nil {
+					t.Fatalf("%s P=%d %v: schedule: %v", name, p, variant, err)
+				}
+				if res.Makespan <= 0 {
+					t.Errorf("%s P=%d %v: non-positive makespan", name, p, variant)
+				}
+				if sp := res.Speedup(tg); sp <= 0 {
+					t.Errorf("%s P=%d %v: non-positive speedup", name, p, variant)
+				}
+			}
+		}
+	}
+}
+
+// TestRLXUsesFewerOrEqualBlocks: SB-RLX fills blocks to P, so it never uses
+// more blocks than SB-LTS (Section 7.1 discussion).
+func TestRLXUsesFewerOrEqualBlocks(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tg := Cholesky(6, rng, DefaultConfig())
+		for _, p := range []int{4, 8, 16} {
+			lts, err := schedule.PartitionLTS(tg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rlx, err := schedule.PartitionRLX(tg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rlx.NumBlocks() > lts.NumBlocks() {
+				t.Errorf("seed %d P=%d: RLX blocks %d > LTS blocks %d",
+					seed, p, rlx.NumBlocks(), lts.NumBlocks())
+			}
+		}
+	}
+}

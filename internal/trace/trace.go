@@ -1,0 +1,147 @@
+// Package trace renders streaming schedules for human inspection: an ASCII
+// Gantt chart for terminals and the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto) for interactive exploration. Each PE becomes
+// a timeline row; each task spans from its start to its last-out time, with
+// block boundaries marked.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schedule"
+)
+
+// event is one Chrome trace-event entry ("complete" events, phase X).
+type event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the schedule in the Chrome trace-event JSON array
+// format. PEs map to thread IDs; spatial blocks are tinted via the category.
+func WriteChromeTrace(w io.Writer, t *core.TaskGraph, r *schedule.Result) error {
+	var events []event
+	for v := 0; v < t.G.Len(); v++ {
+		if r.PE[v] < 0 {
+			continue // passive nodes occupy no PE
+		}
+		n := t.Nodes[v]
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("task%d", v)
+		}
+		blk := r.Partition.BlockOf[v]
+		events = append(events, event{
+			Name:  name,
+			Cat:   fmt.Sprintf("block%d", blk),
+			Phase: "X",
+			TS:    r.ST[v],
+			Dur:   r.LO[v] - r.ST[v],
+			PID:   1,
+			TID:   r.PE[v],
+			Args: map[string]any{
+				"block": blk,
+				"ST":    r.ST[v],
+				"FO":    r.FO[v],
+				"LO":    r.LO[v],
+				"So":    r.So[v],
+				"in":    n.In,
+				"out":   n.Out,
+			},
+		})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// Gantt renders an ASCII chart with one row per PE. width is the number of
+// character columns used for the time axis (min 20). Tasks are drawn with
+// block-indexed glyphs so temporal multiplexing is visible.
+func Gantt(t *core.TaskGraph, r *schedule.Result, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if r.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / r.Makespan
+
+	maxPE := 0
+	for _, pe := range r.PE {
+		if pe > maxPE {
+			maxPE = pe
+		}
+	}
+	rows := make([][]byte, maxPE+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	glyphs := "0123456789abcdefghijklmnopqrstuvwxyz"
+
+	for v := 0; v < t.G.Len(); v++ {
+		pe := r.PE[v]
+		if pe < 0 {
+			continue
+		}
+		from := int(r.ST[v] * scale)
+		to := int(r.LO[v] * scale)
+		if to >= width {
+			to = width - 1
+		}
+		if from > to {
+			from = to
+		}
+		g := glyphs[r.Partition.BlockOf[v]%len(glyphs)]
+		for c := from; c <= to; c++ {
+			rows[pe][c] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %.0f (one column = %.1f cycles; glyph = block index)\n",
+		r.Makespan, r.Makespan/float64(width))
+	for pe, row := range rows {
+		fmt.Fprintf(&b, "PE%-3d |%s|\n", pe, row)
+	}
+	return b.String()
+}
+
+// Summary prints one line per spatial block: node count, time span, and the
+// busiest task.
+func Summary(t *core.TaskGraph, r *schedule.Result) string {
+	var b strings.Builder
+	for i, blk := range r.Partition.Blocks {
+		start := r.BlockStart[i]
+		end := start
+		busiest := graph.InvalidNode
+		var busiestSpan float64
+		for _, v := range blk.Nodes {
+			if r.LO[v] > end {
+				end = r.LO[v]
+			}
+			if span := r.LO[v] - r.ST[v]; r.PE[v] >= 0 && span > busiestSpan {
+				busiestSpan, busiest = span, v
+			}
+		}
+		name := "-"
+		if busiest != graph.InvalidNode {
+			name = t.Nodes[busiest].Name
+		}
+		fmt.Fprintf(&b, "block %2d: %4d tasks  [%8.0f, %8.0f]  busiest %s (%.0f cycles)\n",
+			i, blk.ComputeCount, start, end, name, busiestSpan)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/synth"
+)
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tg := synth.Cholesky(5, rng, synth.SmallConfig())
+	part, err := schedule.PartitionLTS(tg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Schedule(tg, part, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tg, res); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != tg.NumComputeNodes() {
+		t.Errorf("%d events, want %d (one per compute task)", len(events), tg.NumComputeNodes())
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Fatalf("unexpected phase %v", e["ph"])
+		}
+		if e["dur"].(float64) < 0 {
+			t.Fatalf("negative duration in %v", e)
+		}
+	}
+}
+
+func TestGanttShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tg := synth.Chain(4, rng, synth.SmallConfig())
+	res, err := schedule.Schedule(tg, schedule.AllInOneBlock(tg), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(tg, res, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 PEs
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "PE") || !strings.Contains(l, "0") {
+			t.Errorf("PE row missing block glyph: %q", l)
+		}
+	}
+}
+
+func TestGanttTinyWidthClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tg := synth.Chain(3, rng, synth.SmallConfig())
+	res, err := schedule.Schedule(tg, schedule.AllInOneBlock(tg), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(tg, res, 1) // clamps to 20
+	if !strings.Contains(out, "PE0") {
+		t.Errorf("missing PE row:\n%s", out)
+	}
+}
+
+func TestSummaryPerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tg := synth.Gaussian(6, rng, synth.SmallConfig())
+	part, err := schedule.PartitionLTS(tg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Schedule(tg, part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Summary(tg, res)
+	if got := strings.Count(out, "block"); got != part.NumBlocks() {
+		t.Errorf("%d block lines, want %d:\n%s", got, part.NumBlocks(), out)
+	}
+}
