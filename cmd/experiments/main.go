@@ -3,11 +3,18 @@
 // Usage:
 //
 //	experiments [-exp all|fig10|fig11|fig12|fig13|table2] [-graphs N] [-seed S] [-quick] [-full-models]
+//	            [-workers N] [-shard i/n]
 //
 // The default reproduces every experiment with 100 random graphs per
 // topology, as in the paper. -quick reduces graph counts and volumes for a
 // fast smoke run. -full-models runs Table 2 on the full-size ResNet-50 and
 // transformer-encoder graphs (tens of thousands of nodes).
+//
+// The sweeps behind Figures 10, 11, and 13 run on the concurrent engine of
+// internal/experiments: -workers sizes its goroutine pool (default
+// GOMAXPROCS) and -shard i/n runs only the i-th of n job shards so one sweep
+// can be split across processes or machines. The aggregated tables are
+// byte-identical at every worker count.
 package main
 
 import (
@@ -24,6 +31,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "reduced graph counts and volumes")
 	fullModels := flag.Bool("full-models", false, "run Table 2 on full-size model graphs")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (default GOMAXPROCS)")
+	shard := flag.String("shard", "", "run only shard i of n sweep jobs, format i/n")
 	flag.Parse()
 
 	opt := experiments.Defaults()
@@ -34,6 +43,24 @@ func main() {
 		opt.Graphs = *graphs
 	}
 	opt.Seed = *seed
+	opt.Workers = *workers
+	idx, count, err := experiments.ParseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if count > 1 {
+		// Only the Fig10/11/13 sweeps shard; fig12, table2, and the ablation
+		// would run whole in every shard, silently duplicating their work and
+		// double-counting samples in a merge.
+		switch *exp {
+		case "fig10", "fig11", "fig13":
+		default:
+			fmt.Fprintf(os.Stderr, "-shard applies only to -exp fig10, fig11, or fig13 (%q would run in full in every shard)\n", *exp)
+			os.Exit(2)
+		}
+	}
+	opt.ShardIndex, opt.ShardCount = idx, count
 
 	w := os.Stdout
 	run := func(name string, f func()) {

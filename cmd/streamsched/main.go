@@ -8,10 +8,16 @@
 //	streamsched -synth chain -size 8 -pes 4                 # generated input
 //	streamsched -graph app.json -pes 16 -variant rlx -sim   # JSON input
 //	streamsched -model encoder -pes 256                     # ML model graphs
+//	streamsched -synth fft -size 32 -sweep 32,64,96,128     # parallel PE sweep
 //
 // JSON graphs list canonical nodes (kind: compute/buffer/source/sink with
 // per-edge in/out volumes) and edges as node-index pairs; see
 // examples/quickstart for the builder API.
+//
+// -sweep schedules the graph at every PE count of a comma-separated list on
+// the worker pool of internal/experiments (-workers goroutines, default
+// GOMAXPROCS; -shard i/n runs only one shard of the list) and prints one
+// table row per PE count.
 package main
 
 import (
@@ -20,10 +26,13 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/buffers"
 	"repro/internal/core"
 	"repro/internal/desim"
+	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/noc"
 	"repro/internal/onnx"
@@ -55,6 +64,9 @@ func run() error {
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file of the schedule")
 		place     = flag.Bool("place", false, "place blocks on a 2D mesh NoC and report congestion")
 		pipeline  = flag.Bool("pipeline", false, "report steady-state pipelining of repeated iterations")
+		sweepPEs  = flag.String("sweep", "", "schedule at every PE count of this comma-separated list, in parallel")
+		workers   = flag.Int("workers", 0, "worker goroutines for -sweep (default GOMAXPROCS)")
+		shard     = flag.String("shard", "", "run only shard i of n sweep entries, format i/n")
 	)
 	flag.Parse()
 
@@ -71,6 +83,10 @@ func run() error {
 		v = schedule.SBRLX
 	default:
 		return fmt.Errorf("unknown variant %q (want lts or rlx)", *variant)
+	}
+
+	if *sweepPEs != "" {
+		return runSweep(tg, v, *sweepPEs, *workers, *shard)
 	}
 
 	part, err := schedule.Algorithm1(tg, *pes, schedule.Options{Variant: v})
@@ -163,6 +179,76 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *dotPath)
+	}
+	return nil
+}
+
+// sweepRow is one PE configuration of the -sweep table.
+type sweepRow struct {
+	pes      int
+	blocks   int
+	makespan float64
+	speedup  float64
+	util     float64
+}
+
+// runSweep schedules tg at every PE count of the list on the experiments
+// worker pool and prints one row per PE count, in list order.
+func runSweep(tg *core.TaskGraph, v schedule.Variant, list string, workers int, shard string) error {
+	var pes []int
+	for _, s := range strings.Split(list, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			return fmt.Errorf("bad -sweep entry %q", s)
+		}
+		pes = append(pes, p)
+	}
+	if shard != "" {
+		idx, count, err := experiments.ParseShard(shard)
+		if err != nil {
+			return err
+		}
+		var kept []int
+		for i, p := range pes {
+			if i%count == idx {
+				kept = append(kept, p)
+			}
+		}
+		pes = kept
+	}
+
+	rows, errs := experiments.RunIndexed(workers, len(pes), func(i int) (sweepRow, error) {
+		p := pes[i]
+		part, err := schedule.Algorithm1(tg, p, schedule.Options{Variant: v})
+		if err != nil {
+			return sweepRow{}, err
+		}
+		res, err := schedule.Schedule(tg, part, p)
+		if err != nil {
+			return sweepRow{}, err
+		}
+		return sweepRow{
+			pes:      p,
+			blocks:   part.NumBlocks(),
+			makespan: res.Makespan,
+			speedup:  res.Speedup(tg),
+			util:     res.Utilization(tg, p),
+		}, nil
+	})
+
+	fmt.Printf("sweep (%s): %d nodes, %d PE configurations\n", v, tg.Len(), len(pes))
+	fmt.Printf("%6s %8s %10s %8s %8s\n", "PEs", "blocks", "makespan", "speedup", "util")
+	failed := 0
+	for i, r := range rows {
+		if errs[i] != nil {
+			fmt.Printf("%6d  FAILED: %v\n", pes[i], errs[i])
+			failed++
+			continue
+		}
+		fmt.Printf("%6d %8d %10.0f %8.2f %7.1f%%\n", r.pes, r.blocks, r.makespan, r.speedup, 100*r.util)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sweep entries failed", failed, len(pes))
 	}
 	return nil
 }

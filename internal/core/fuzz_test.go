@@ -1,9 +1,12 @@
-package core
+package core_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
 )
 
 // FuzzDecodeJSON checks that arbitrary input never panics the decoder and
@@ -18,7 +21,7 @@ func FuzzDecodeJSON(f *testing.F) {
 	f.Add(`[1,2,3]`)
 
 	f.Fuzz(func(t *testing.T, in string) {
-		tg, err := DecodeJSON(strings.NewReader(in))
+		tg, err := core.DecodeJSON(strings.NewReader(in))
 		if err != nil {
 			return
 		}
@@ -30,12 +33,71 @@ func FuzzDecodeJSON(f *testing.F) {
 		if err := tg.EncodeJSON(&buf); err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
-		again, err := DecodeJSON(&buf)
+		again, err := core.DecodeJSON(&buf)
 		if err != nil {
 			t.Fatalf("round trip failed: %v", err)
 		}
 		if again.Len() != tg.Len() || again.G.NumEdges() != tg.G.NumEdges() {
 			t.Fatalf("round trip changed structure")
+		}
+	})
+}
+
+// FuzzPartitionInvariants feeds decoded graphs through both Algorithm 1
+// variants at fuzzed PE counts and asserts the structural invariants every
+// partition must satisfy: every node assigned to exactly one block,
+// ComputeCount <= P in every block, no back edges between blocks, and
+// streaming edges never crossing buffer nodes or block boundaries.
+func FuzzPartitionInvariants(f *testing.F) {
+	f.Add(`{"nodes":[{"kind":"compute","in":4,"out":4}],"edges":[]}`, uint8(1), false)
+	f.Add(`{"nodes":[{"kind":"source","out":8},{"kind":"compute","in":8,"out":2},{"kind":"sink","in":2}],"edges":[[0,1],[1,2]]}`, uint8(2), true)
+	f.Add(`{"nodes":[{"kind":"buffer","in":2,"out":4},{"kind":"compute","in":4,"out":1}],"edges":[[0,1]]}`, uint8(3), false)
+	f.Add(`{"nodes":[{"kind":"compute","in":8,"out":8},{"kind":"compute","in":8,"out":4},{"kind":"compute","in":8,"out":8},{"kind":"compute","in":4,"out":4}],"edges":[[0,1],[0,2],[1,3]]}`, uint8(2), true)
+
+	f.Fuzz(func(t *testing.T, in string, pRaw uint8, rlx bool) {
+		tg, err := core.DecodeJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		p := int(pRaw%16) + 1
+		variant := schedule.SBLTS
+		if rlx {
+			variant = schedule.SBRLX
+		}
+		part, err := schedule.Algorithm1(tg, p, schedule.Options{Variant: variant})
+		if err != nil {
+			// Algorithm 1 accepts every frozen DAG with P >= 1; an error here
+			// is a lost graph, which the sweep engine would report as a
+			// failed job on valid input.
+			t.Fatalf("Algorithm1(%s, P=%d) rejected a valid graph: %v\ninput: %q", variant, p, err, in)
+		}
+		// Validate covers: every node in exactly one block, BlockOf/Blocks
+		// agreement, ComputeCount consistency and <= P, no back edges.
+		if err := part.Validate(tg, p); err != nil {
+			t.Fatalf("invalid partition (%s, P=%d): %v\ninput: %q", variant, p, err, in)
+		}
+		// Every block must respect the PE budget explicitly.
+		for bi, blk := range part.Blocks {
+			if blk.ComputeCount > p {
+				t.Fatalf("block %d holds %d compute tasks > P=%d", bi, blk.ComputeCount, p)
+			}
+		}
+		// Streaming is only legal inside one block and never across buffers
+		// (Section 3.1: pipelining cannot cross a buffer node).
+		for _, e := range tg.G.Edges() {
+			stream := part.Streaming(tg, e.From, e.To)
+			sameBlock := part.SameBlock(e.From, e.To)
+			touchesBuffer := tg.Nodes[e.From].Kind == core.Buffer || tg.Nodes[e.To].Kind == core.Buffer
+			if stream && !sameBlock {
+				t.Fatalf("edge (%d,%d) streams across blocks %d -> %d",
+					e.From, e.To, part.BlockOf[e.From], part.BlockOf[e.To])
+			}
+			if stream && touchesBuffer {
+				t.Fatalf("edge (%d,%d) streams through a buffer node", e.From, e.To)
+			}
+			if sameBlock && !touchesBuffer && !stream {
+				t.Fatalf("edge (%d,%d) is co-scheduled and buffer-free but not streaming", e.From, e.To)
+			}
 		}
 	})
 }

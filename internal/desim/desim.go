@@ -21,6 +21,10 @@
 // this makes depth-1 FIFOs bubble-free on rate-matched edges and matches the
 // first-out/last-out recurrences of Section 5.1 exactly on the paper's
 // worked examples.
+//
+// Sweeps that validate many schedules should allocate one Scratch per worker
+// and call its Simulate method: all edge, FIFO, and task state is then reused
+// across runs instead of being reallocated per simulation.
 package desim
 
 import (
@@ -30,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/schedule"
+	"repro/internal/scratch"
 )
 
 // Config controls the simulation.
@@ -106,8 +111,36 @@ type taskState struct {
 	active   bool // participates in the per-cycle loop (buffers do not)
 }
 
-// Simulate runs the schedule through the simulator.
+// Scratch holds reusable simulation state: the per-edge FIFO/memory records,
+// the per-task runtime records, the Finish vector, and the per-block working
+// sets. A Scratch must not be used from multiple goroutines at once; sweeps
+// allocate one per worker. The zero value is ready to use.
+type Scratch struct {
+	stats    Stats
+	finish   []float64
+	edges    []edgeState
+	edgeIdx  map[[2]graph.NodeID]int32
+	tasks    []taskState
+	refs     []*edgeState // backing array carved into per-task inEdges/outEdges
+	order    []*taskState
+	bufs     []*taskState
+	inBlk    []bool
+	bufReady map[graph.NodeID]int64
+}
+
+// NewScratch returns an empty Scratch ready for (re)use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Simulate runs the schedule through the simulator, allocating fresh state.
+// Hot loops should prefer Scratch.Simulate, which reuses buffers.
 func Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*Stats, error) {
+	return NewScratch().Simulate(t, r, cfg)
+}
+
+// Simulate runs the schedule through the simulator, reusing the scratch's
+// buffers. The returned Stats — including its Finish slice — aliases scratch
+// memory and is only valid until the next Simulate call on the same Scratch.
+func (s *Scratch) Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*Stats, error) {
 	if cfg.DefaultCap <= 0 {
 		cfg.DefaultCap = 1
 	}
@@ -116,46 +149,84 @@ func Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*Stats, error)
 	}
 
 	n := t.G.Len()
-	stats := &Stats{Finish: make([]float64, n)}
+	ne := t.G.NumEdges()
+	s.finish = scratch.GrowFloats(s.finish, n)
+	s.stats = Stats{Finish: s.finish}
+	stats := &s.stats
 
-	// Build edge states.
-	edges := make(map[[2]graph.NodeID]*edgeState, t.G.NumEdges())
-	for _, e := range t.G.Edges() {
-		es := &edgeState{from: e.From, to: e.To, vol: e.Volume, ready: -1}
-		if r.Partition.Streaming(t, e.From, e.To) {
-			es.kind = fifoEdge
-			es.cap = cfg.DefaultCap
-			if c, ok := cfg.FIFOCap[[2]graph.NodeID{e.From, e.To}]; ok && c > 0 {
-				es.cap = c
-			}
-		} else {
-			es.kind = memoryEdge
-		}
-		edges[[2]graph.NodeID{e.From, e.To}] = es
+	// Build edge states in deterministic (producer, successor-order) order.
+	if s.edgeIdx == nil {
+		s.edgeIdx = make(map[[2]graph.NodeID]int32, ne)
+	} else {
+		clear(s.edgeIdx)
 	}
-
-	tasks := make([]*taskState, n)
+	if cap(s.edges) < ne {
+		s.edges = make([]edgeState, ne)
+	}
+	s.edges = s.edges[:ne]
+	ei := int32(0)
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
-		ts := &taskState{id: id, node: t.Nodes[v], finish: -1}
-		for _, u := range t.G.Preds(id) {
-			ts.inEdges = append(ts.inEdges, edges[[2]graph.NodeID{u, id}])
-		}
 		for _, w := range t.G.Succs(id) {
-			ts.outEdges = append(ts.outEdges, edges[[2]graph.NodeID{id, w}])
+			es := &s.edges[ei]
+			*es = edgeState{from: id, to: w, vol: t.G.Volume(id, w), ready: -1}
+			if r.Partition.Streaming(t, id, w) {
+				es.kind = fifoEdge
+				es.cap = cfg.DefaultCap
+				if c, ok := cfg.FIFOCap[[2]graph.NodeID{id, w}]; ok && c > 0 {
+					es.cap = c
+				}
+			} else {
+				es.kind = memoryEdge
+			}
+			s.edgeIdx[[2]graph.NodeID{id, w}] = ei
+			ei++
 		}
-		ts.active = t.Nodes[v].Kind != core.Buffer
-		tasks[v] = ts
 	}
 
-	// Buffers are passive: track the set of edges feeding each one so its
-	// readiness can be derived from producer completion.
-	bufFillReady := make(map[graph.NodeID]int64, 4)
+	// Task states, with inEdges/outEdges carved out of one backing array.
+	if cap(s.refs) < 2*ne {
+		s.refs = make([]*edgeState, 2*ne)
+	}
+	s.refs = s.refs[:2*ne]
+	if cap(s.tasks) < n {
+		s.tasks = make([]taskState, n)
+	}
+	s.tasks = s.tasks[:n]
+	off := 0
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		ts := &s.tasks[v]
+		*ts = taskState{id: id, node: t.Nodes[v], finish: -1}
+		preds := t.G.Preds(id)
+		in := s.refs[off : off : off+len(preds)]
+		for _, u := range preds {
+			in = append(in, &s.edges[s.edgeIdx[[2]graph.NodeID{u, id}]])
+		}
+		off += len(preds)
+		succs := t.G.Succs(id)
+		out := s.refs[off : off : off+len(succs)]
+		for _, w := range succs {
+			out = append(out, &s.edges[s.edgeIdx[[2]graph.NodeID{id, w}]])
+		}
+		off += len(succs)
+		ts.inEdges, ts.outEdges = in, out
+		ts.active = t.Nodes[v].Kind != core.Buffer
+	}
+
+	// Buffers are passive: track when each one filled so its readiness can
+	// be derived from producer completion.
+	if s.bufReady == nil {
+		s.bufReady = make(map[graph.NodeID]int64, 4)
+	} else {
+		clear(s.bufReady)
+	}
+	s.inBlk = scratch.GrowBools(s.inBlk, n)
 
 	topo := t.G.Topo()
 	cycle := int64(0)
 	for bi, blk := range r.Partition.Blocks {
-		start, err := simulateBlock(t, blk, tasks, topo, cycle, cfg.MaxCycles, bufFillReady, stats)
+		start, err := s.simulateBlock(blk, topo, cycle, cfg.MaxCycles)
 		if err != nil {
 			return stats, fmt.Errorf("desim: block %d: %w", bi, err)
 		}
@@ -176,35 +247,41 @@ func Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*Stats, error)
 
 // simulateBlock runs one spatial block to completion, starting at cycle
 // blockStart, and returns the barrier time for the next block.
-func simulateBlock(t *core.TaskGraph, blk schedule.Block, tasks []*taskState, topo []graph.NodeID,
-	blockStart, maxCycles int64, bufFillReady map[graph.NodeID]int64, stats *Stats) (int64, error) {
+func (s *Scratch) simulateBlock(blk schedule.Block, topo []graph.NodeID,
+	blockStart, maxCycles int64) (int64, error) {
 
-	inBlk := make(map[graph.NodeID]bool, len(blk.Nodes))
+	stats := &s.stats
 	for _, v := range blk.Nodes {
-		inBlk[v] = true
+		s.inBlk[v] = true
 	}
+	defer func() {
+		for _, v := range blk.Nodes {
+			s.inBlk[v] = false
+		}
+	}()
 
 	// Reverse topological order restricted to the block: consumers first.
-	var order []*taskState
+	order := s.order[:0]
 	for i := len(topo) - 1; i >= 0; i-- {
 		v := topo[i]
-		if inBlk[v] && tasks[v].active {
-			order = append(order, tasks[v])
+		if s.inBlk[v] && s.tasks[v].active {
+			order = append(order, &s.tasks[v])
 		}
 	}
-	var bufs []*taskState
+	bufs := s.bufs[:0]
 	for _, v := range blk.Nodes {
-		if !tasks[v].active {
-			bufs = append(bufs, tasks[v])
+		if !s.tasks[v].active {
+			bufs = append(bufs, &s.tasks[v])
 		}
 	}
+	s.order, s.bufs = order, bufs
 
 	// resolveBufs marks passive buffers ready once every producer deposited
 	// all of its data; consumers can start reading the following cycle.
 	resolveBufs := func(now int64) bool {
 		progress := false
 		for _, b := range bufs {
-			if _, ok := bufFillReady[b.id]; ok {
+			if _, ok := s.bufReady[b.id]; ok {
 				continue
 			}
 			filled := true
@@ -219,7 +296,7 @@ func simulateBlock(t *core.TaskGraph, blk schedule.Block, tasks []*taskState, to
 				}
 			}
 			if filled {
-				bufFillReady[b.id] = last
+				s.bufReady[b.id] = last
 				stats.Finish[b.id] = float64(last)
 				for _, e := range b.outEdges {
 					e.written = e.vol
@@ -301,7 +378,7 @@ func simulateBlock(t *core.TaskGraph, blk schedule.Block, tasks []*taskState, to
 		}
 	}
 	for _, b := range bufs {
-		if r, ok := bufFillReady[b.id]; ok && r > end {
+		if r, ok := s.bufReady[b.id]; ok && r > end {
 			// A buffer only delays the barrier if it is still filling, which
 			// cannot happen once all block tasks finished; kept for safety.
 			end = r

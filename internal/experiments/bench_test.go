@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTopo is a multi-graph sweep heavy enough for the pool to matter: the
+// Gaussian-elimination family (135 tasks) across its four PE counts.
+func benchTopo() (Topology, Options) {
+	opt := Quick()
+	opt.Graphs = 8
+	return Topologies()[2], opt
+}
+
+// BenchmarkSweepSequential is the single-goroutine reference sweep.
+func BenchmarkSweepSequential(b *testing.B) {
+	topo, opt := benchTopo()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunSweepSequential(topo, opt, false)
+	}
+}
+
+// BenchmarkSweepParallel runs the same sweep on the engine at increasing
+// worker counts; at >= 4 workers it must beat BenchmarkSweepSequential while
+// producing identical aggregates (TestParallelSweepMatchesSequential).
+func BenchmarkSweepParallel(b *testing.B) {
+	topo, opt := benchTopo()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Runner{Workers: workers}.Sweep(topo, opt, false)
+			}
+		})
+	}
+}
+
+// BenchmarkSweepParallelSimulated exercises the desim-scratch path: the
+// Chain family with the Appendix B element-level validation per job.
+func BenchmarkSweepParallelSimulated(b *testing.B) {
+	opt := Quick()
+	opt.Graphs = 8
+	topo := Topologies()[0]
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Runner{Workers: workers}.Sweep(topo, opt, true)
+			}
+		})
+	}
+}

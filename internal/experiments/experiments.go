@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"repro/internal/baseline"
@@ -38,6 +39,12 @@ type Options struct {
 	Seed int64
 	// Config bounds the random volumes of the synthetic generators.
 	Config synth.Config
+	// Workers is the worker-pool size used by the sweeps; <= 0 means
+	// GOMAXPROCS. The aggregated results are identical at every setting.
+	Workers int
+	// ShardIndex/ShardCount restrict the sweep to one shard of its jobs so
+	// runs can be split across processes; ShardCount <= 1 disables sharding.
+	ShardIndex, ShardCount int
 }
 
 // Defaults mirrors the paper's setup: 100 random graphs per topology.
@@ -93,9 +100,41 @@ type SweepPoint struct {
 	Deadlocks                  int
 }
 
-// RunSweep evaluates one topology across its PE counts. When simulate is
-// true, the Appendix B discrete-event validation also runs (Figure 13).
+// RunSweep evaluates one topology across its PE counts on the concurrent
+// sweep engine, honoring opt.Workers and the shard settings. When simulate
+// is true, the Appendix B discrete-event validation also runs (Figure 13).
+// The result is byte-identical to RunSweepSequential at any worker count.
+// Failed jobs are dropped from the aggregate and reported on stderr (where
+// the sequential reference would have panicked); callers that need the full
+// failure list use Runner.Sweep directly.
 func RunSweep(topo Topology, opt Options, simulate bool) []SweepPoint {
+	points, rep := Runner{
+		Workers:    opt.Workers,
+		ShardIndex: opt.ShardIndex,
+		ShardCount: opt.ShardCount,
+	}.Sweep(topo, opt, simulate)
+	if len(rep.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %s sweep: %d/%d jobs failed, their samples are missing from the tables\n",
+			topo.Name, len(rep.Failures), rep.Jobs)
+		for i, f := range rep.Failures {
+			if i == maxReportedFailures {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(rep.Failures)-i)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %v\n", f)
+		}
+	}
+	return points
+}
+
+// maxReportedFailures bounds the per-sweep failure lines RunSweep prints.
+const maxReportedFailures = 10
+
+// RunSweepSequential is the single-goroutine reference implementation of the
+// sweep; Runner.Sweep must reproduce its aggregates exactly. Unlike the
+// engine it panics on scheduler errors, and it is kept both as the oracle
+// for the equivalence tests and as the baseline for the benchmarks.
+func RunSweepSequential(topo Topology, opt Options, simulate bool) []SweepPoint {
 	points := make([]SweepPoint, len(topo.PEs))
 	for i, p := range topo.PEs {
 		points[i].PEs = p

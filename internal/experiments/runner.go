@@ -1,0 +1,444 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/buffers"
+	"repro/internal/core"
+	"repro/internal/desim"
+	"repro/internal/schedule"
+)
+
+// SchedulerKind names the scheduler variant one sweep job runs.
+type SchedulerKind int
+
+const (
+	// JobLTS is the streaming SB-LTS heuristic (STR-SCH-1).
+	JobLTS SchedulerKind = iota
+	// JobRLX is the streaming SB-RLX heuristic (STR-SCH-2).
+	JobRLX
+	// JobNSTR is the non-streaming CP/MISF insertion baseline (NSTR-SCH).
+	JobNSTR
+	numKinds
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case JobLTS:
+		return "SB-LTS"
+	case JobRLX:
+		return "SB-RLX"
+	case JobNSTR:
+		return "NSTR"
+	}
+	return fmt.Sprintf("SchedulerKind(%d)", int(k))
+}
+
+// Job identifies one (graph, scheduler variant, P) cell of a sweep.
+type Job struct {
+	Topology string
+	Graph    int // graph index within the sweep; seeds the generator
+	PEs      int
+	Kind     SchedulerKind
+}
+
+func (j Job) String() string {
+	return fmt.Sprintf("%s/g%d/P%d/%s", j.Topology, j.Graph, j.PEs, j.Kind)
+}
+
+// JobTiming reports how long one job took on its worker.
+type JobTiming struct {
+	Job      Job
+	Duration time.Duration
+}
+
+// JobFailure pairs a failed job with its error. Failures are collected per
+// job instead of aborting the sweep, so one pathological graph cannot sink a
+// multi-hour run.
+type JobFailure struct {
+	Job Job
+	Err error
+}
+
+func (f JobFailure) Error() string { return fmt.Sprintf("%s: %v", f.Job, f.Err) }
+
+// Report summarizes one engine run: job counts, per-job timings in job
+// enumeration order, and every failure.
+type Report struct {
+	Jobs      int           // jobs eligible for this shard
+	Completed int           // jobs that produced a sample
+	Skipped   int           // jobs excluded by the shard filter
+	Elapsed   time.Duration // wall-clock time of the whole sweep
+	Work      time.Duration // sum of per-job durations (CPU-side work)
+	Timings   []JobTiming
+	Failures  []JobFailure
+}
+
+// Runner is the concurrent sweep engine: it shards (graph x scheduler x P)
+// jobs across a pool of worker goroutines, streams results over a channel
+// into a deterministic, order-stable aggregation, and memoizes graph
+// construction behind a thread-safe cache. The aggregate it produces is
+// byte-identical to the sequential sweep regardless of worker count.
+type Runner struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// ShardIndex/ShardCount select a subset of jobs (job i runs when
+	// i % ShardCount == ShardIndex), so a sweep can be split across
+	// processes or machines. ShardCount <= 1 disables sharding.
+	ShardIndex, ShardCount int
+	// Cache memoizes graph construction. Nil means a fresh cache per sweep;
+	// sharing one across sweeps of the same topology avoids rebuilding.
+	Cache *GraphCache
+
+	// failHook, when set, injects an error for matching jobs; used by tests
+	// to exercise failure collection.
+	failHook func(Job) error
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r Runner) inShard(i int) bool {
+	if r.ShardCount <= 1 {
+		return true
+	}
+	return i%r.ShardCount == r.ShardIndex%r.ShardCount
+}
+
+// GraphCache memoizes graph constructions so that concurrent jobs touching
+// the same graph share a single frozen TaskGraph (and its streaming depth)
+// instead of rebuilding it per job. Frozen graphs are immutable, so sharing
+// across goroutines is safe. Concurrent Gets for the same key block until
+// the single build completes.
+type GraphCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	builds  int
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	tg    *core.TaskGraph
+	depth float64 // schedule.StreamingDepth, shared by every SSLR sample
+}
+
+// NewGraphCache returns an empty thread-safe cache.
+func NewGraphCache() *GraphCache {
+	return &GraphCache{entries: make(map[string]*cacheEntry)}
+}
+
+// Get returns the graph and streaming depth for key, building and memoizing
+// them on first use.
+func (c *GraphCache) Get(key string, build func() *core.TaskGraph) (*core.TaskGraph, float64) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.tg = build()
+		e.depth = schedule.StreamingDepth(e.tg)
+		c.mu.Lock()
+		c.builds++
+		c.mu.Unlock()
+	})
+	return e.tg, e.depth
+}
+
+// Builds reports how many keys were actually constructed (cache misses).
+func (c *GraphCache) Builds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds
+}
+
+// sweepJob is a Job plus the index of its PE count in the topology's sweep.
+type sweepJob struct {
+	Job
+	peIdx int
+}
+
+// sweepSample is the outcome of one completed job, mirroring exactly what
+// the sequential loop appends per (graph, PE, scheduler) cell.
+type sweepSample struct {
+	ok       bool
+	speedup  float64
+	sslr     float64
+	util     float64
+	simErr   float64
+	deadlock bool
+}
+
+// sweepJobs enumerates the sweep in the sequential loop's order: graphs
+// outermost, then PE counts, then LTS/RLX/NSTR. Aggregating completed
+// samples in this order reproduces the sequential append order bit for bit.
+func sweepJobs(topo Topology, opt Options) []sweepJob {
+	jobs := make([]sweepJob, 0, opt.Graphs*len(topo.PEs)*int(numKinds))
+	for g := 0; g < opt.Graphs; g++ {
+		for i, p := range topo.PEs {
+			for k := SchedulerKind(0); k < numKinds; k++ {
+				jobs = append(jobs, sweepJob{
+					Job:   Job{Topology: topo.Name, Graph: g, PEs: p, Kind: k},
+					peIdx: i,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// workerState is the per-worker scratch: a reusable scheduler and simulator
+// so the hot paths allocate no per-run state.
+type workerState struct {
+	sched *schedule.Scheduler
+	sim   *desim.Scratch
+}
+
+// Sweep evaluates one topology across its PE counts on the worker pool and
+// returns the aggregate plus a per-job report. With no failures and no
+// sharding, the points are identical to RunSweepSequential's.
+func (r Runner) Sweep(topo Topology, opt Options, simulate bool) ([]SweepPoint, Report) {
+	start := time.Now()
+	jobs := sweepJobs(topo, opt)
+	samples := make([]sweepSample, len(jobs))
+
+	cache := r.Cache
+	if cache == nil {
+		cache = NewGraphCache()
+	}
+
+	type outMsg struct {
+		idx int
+		s   sweepSample
+		dur time.Duration
+		err error
+	}
+	idxCh := make(chan int)
+	outCh := make(chan outMsg, r.workers())
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := &workerState{sched: schedule.NewScheduler(), sim: desim.NewScratch()}
+			for i := range idxCh {
+				t0 := time.Now()
+				s, err := r.runSweepJob(topo, opt, simulate, jobs[i], cache, ws)
+				outCh <- outMsg{idx: i, s: s, dur: time.Since(t0), err: err}
+			}
+		}()
+	}
+
+	rep := Report{}
+	go func() {
+		for i := range jobs {
+			if r.inShard(i) {
+				idxCh <- i
+			}
+		}
+		close(idxCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	// Results stream in completion order; store them by job index so the
+	// report and aggregation below are independent of scheduling
+	// interleavings.
+	durs := make([]time.Duration, len(jobs))
+	errs := make([]error, len(jobs))
+	ran := make([]bool, len(jobs))
+	for m := range outCh {
+		samples[m.idx] = m.s
+		durs[m.idx], errs[m.idx], ran[m.idx] = m.dur, m.err, true
+	}
+	for i := range jobs {
+		if !ran[i] {
+			continue
+		}
+		rep.Jobs++
+		rep.Work += durs[i]
+		rep.Timings = append(rep.Timings, JobTiming{Job: jobs[i].Job, Duration: durs[i]})
+		if errs[i] != nil {
+			rep.Failures = append(rep.Failures, JobFailure{Job: jobs[i].Job, Err: errs[i]})
+		} else {
+			rep.Completed++
+		}
+	}
+	rep.Skipped = len(jobs) - rep.Jobs
+	rep.Elapsed = time.Since(start)
+
+	return aggregateSweep(topo, jobs, samples, simulate), rep
+}
+
+// aggregateSweep folds completed samples into SweepPoints in job enumeration
+// order, skipping jobs that failed or fell outside this shard.
+func aggregateSweep(topo Topology, jobs []sweepJob, samples []sweepSample, simulate bool) []SweepPoint {
+	points := make([]SweepPoint, len(topo.PEs))
+	for i, p := range topo.PEs {
+		points[i].PEs = p
+	}
+	for ji, job := range jobs {
+		s := samples[ji]
+		if !s.ok {
+			continue
+		}
+		pt := &points[job.peIdx]
+		switch job.Kind {
+		case JobLTS:
+			pt.SpeedupLTS = append(pt.SpeedupLTS, s.speedup)
+			pt.SSLRLTS = append(pt.SSLRLTS, s.sslr)
+			pt.UtilLTS = append(pt.UtilLTS, s.util)
+			if simulate {
+				pt.ErrLTS = append(pt.ErrLTS, s.simErr*100)
+			}
+		case JobRLX:
+			pt.SpeedupRLX = append(pt.SpeedupRLX, s.speedup)
+			pt.SSLRRLX = append(pt.SSLRRLX, s.sslr)
+			pt.UtilRLX = append(pt.UtilRLX, s.util)
+			if simulate {
+				pt.ErrRLX = append(pt.ErrRLX, s.simErr*100)
+			}
+		case JobNSTR:
+			pt.SpeedupNSTR = append(pt.SpeedupNSTR, s.speedup)
+			pt.UtilNSTR = append(pt.UtilNSTR, s.util)
+		}
+		if s.deadlock {
+			pt.Deadlocks++
+		}
+	}
+	return points
+}
+
+func graphKey(topo Topology, opt Options, g int) string {
+	// The synth config changes the built graph, so it must distinguish cache
+	// entries when one GraphCache is shared across differently-sized sweeps.
+	return fmt.Sprintf("%s/%d/%d/%+v", topo.Name, opt.Seed, g, opt.Config)
+}
+
+// ParseShard parses the "i/n" syntax of the -shard flags strictly: both
+// fields must be integers with nothing trailing, and 0 <= i < n. The empty
+// string means no sharding and yields (0, 0, nil).
+func ParseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad shard %q (want i/n)", s)
+	}
+	index, err = strconv.Atoi(is)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard %q (want i/n): %v", s, err)
+	}
+	count, err = strconv.Atoi(ns)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard %q (want i/n): %v", s, err)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad shard %q: need 0 <= i < n", s)
+	}
+	return index, count, nil
+}
+
+// runSweepJob executes one job: fetch (or build) the graph, run the selected
+// scheduler, and optionally validate with the discrete-event simulator. The
+// arithmetic matches the sequential loop exactly, so samples are bitwise
+// reproducible.
+func (r Runner) runSweepJob(topo Topology, opt Options, simulate bool, job sweepJob,
+	cache *GraphCache, ws *workerState) (sweepSample, error) {
+
+	if r.failHook != nil {
+		if err := r.failHook(job.Job); err != nil {
+			return sweepSample{}, err
+		}
+	}
+	tg, depth := cache.Get(graphKey(topo, opt, job.Graph), func() *core.TaskGraph {
+		rng := rand.New(rand.NewSource(opt.Seed + int64(job.Graph)))
+		return topo.Build(rng, opt.Config)
+	})
+
+	if job.Kind == JobNSTR {
+		nstr, err := baseline.Schedule(tg, job.PEs, baseline.Options{Insertion: true})
+		if err != nil {
+			return sweepSample{}, err
+		}
+		return sweepSample{ok: true, speedup: nstr.Speedup(tg), util: nstr.Utilization(tg)}, nil
+	}
+
+	variant := schedule.SBLTS
+	if job.Kind == JobRLX {
+		variant = schedule.SBRLX
+	}
+	part, err := schedule.Algorithm1(tg, job.PEs, schedule.Options{Variant: variant})
+	if err != nil {
+		return sweepSample{}, err
+	}
+	res, err := ws.sched.Schedule(tg, part, job.PEs)
+	if err != nil {
+		return sweepSample{}, err
+	}
+	s := sweepSample{
+		ok:      true,
+		speedup: res.Speedup(tg),
+		sslr:    res.Makespan / depth,
+		util:    res.Utilization(tg, job.PEs),
+	}
+	if simulate {
+		st, err := ws.sim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+		if err != nil {
+			return sweepSample{}, err
+		}
+		if st.Deadlocked {
+			s.deadlock = true
+		} else {
+			s.simErr = st.RelativeError(res.Makespan)
+		}
+	}
+	return s, nil
+}
+
+// RunIndexed runs fn(0) .. fn(n-1) on a pool of workers and returns the
+// results in index order, with per-index errors (nil on success). It is the
+// generic worker-pool primitive behind Runner, exported so commands can
+// parallelize their own sweeps (e.g. streamsched's multi-P sweep).
+func RunIndexed[T any](workers, n int, fn func(int) (T, error)) ([]T, []error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return results, errs
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/scratch"
 )
 
 // Result is a complete streaming schedule: the partition, per-node times,
@@ -38,10 +39,32 @@ type Result struct {
 	Makespan float64
 }
 
+// Scheduler evaluates schedules while reusing its internal scratch buffers
+// (block membership marks, buffer-fill times, sub-graph index maps) across
+// calls. Sweeps that schedule many graphs allocate one Scheduler per worker;
+// a Scheduler must not be used from multiple goroutines at once. The zero
+// value is ready to use. The returned Results own all their slices, so they
+// stay valid after further Schedule calls.
+type Scheduler struct {
+	bufferFill []float64
+	inBlk      []bool  // blockTimes: node in current block
+	localIdx   []int32 // blockIntervals: node -> local index, -1 outside
+	owner      []graph.NodeID
+}
+
+// NewScheduler returns a Scheduler with empty scratch buffers.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
 // Schedule computes the streaming schedule for a frozen canonical task graph
 // under the given partition. P is the number of processing elements and is
-// only used to validate the partition and assign PEs.
+// only used to validate the partition and assign PEs. It allocates fresh
+// scratch state; hot loops should prefer Scheduler.Schedule.
 func Schedule(t *core.TaskGraph, part Partition, p int) (*Result, error) {
+	return NewScheduler().Schedule(t, part, p)
+}
+
+// Schedule is the scratch-reusing equivalent of the package-level Schedule.
+func (s *Scheduler) Schedule(t *core.TaskGraph, part Partition, p int) (*Result, error) {
 	if err := part.Validate(t, p); err != nil {
 		return nil, err
 	}
@@ -64,15 +87,23 @@ func Schedule(t *core.TaskGraph, part Partition, p int) (*Result, error) {
 	// bufferFill[v]: for buffer nodes, the time the tail has received all
 	// its input; consumers in later blocks read from memory and only need
 	// the fill time, not the emission time.
-	bufferFill := make([]float64, n)
+	s.bufferFill = scratch.GrowFloats(s.bufferFill, n)
+	s.inBlk = scratch.GrowBools(s.inBlk, n)
+	if cap(s.localIdx) < n {
+		s.localIdx = make([]int32, n)
+	}
+	s.localIdx = s.localIdx[:n]
+	for i := range s.localIdx {
+		s.localIdx[i] = -1
+	}
 
 	compBase := 0
 	blockStart := 0.0
 	for bi, blk := range part.Blocks {
 		r.BlockStart[bi] = blockStart
-		compBase = r.blockIntervals(t, blk, compBase)
+		compBase = s.blockIntervals(r, t, blk, compBase)
 		r.assignPEs(t, blk)
-		end := r.blockTimes(t, part, blk, blockStart, bufferFill)
+		end := s.blockTimes(r, t, blk, blockStart)
 		if end > r.Makespan {
 			r.Makespan = end
 		}
@@ -87,16 +118,21 @@ func Schedule(t *core.TaskGraph, part Partition, p int) (*Result, error) {
 // the subgraph induced by the block, after buffer splitting) and stores them
 // into r.So/r.Si/r.Comp. compBase offsets component IDs so they stay unique
 // across blocks; the new base is returned.
-func (r *Result) blockIntervals(t *core.TaskGraph, blk Block, compBase int) int {
-	inBlk := make(map[graph.NodeID]int, len(blk.Nodes)) // node -> local index
+func (s *Scheduler) blockIntervals(r *Result, t *core.TaskGraph, blk Block, compBase int) int {
+	localIdx := s.localIdx // node -> local index; -1 outside the block
 	for i, v := range blk.Nodes {
-		inBlk[v] = i
+		localIdx[v] = int32(i)
 	}
+	defer func() {
+		for _, v := range blk.Nodes {
+			localIdx[v] = -1
+		}
+	}()
 
 	// Build the buffer-split subgraph: local node i for each block node;
 	// buffers get an extra head node appended.
-	sub := graph.New()
-	owner := make([]graph.NodeID, 0, len(blk.Nodes)+4)
+	sub := graph.NewWithCapacity(len(blk.Nodes))
+	owner := s.owner[:0]
 	head := make(map[graph.NodeID]graph.NodeID, 4)
 	for _, v := range blk.Nodes {
 		sub.AddNode()
@@ -109,13 +145,14 @@ func (r *Result) blockIntervals(t *core.TaskGraph, blk Block, compBase int) int 
 			head[v] = h
 		}
 	}
+	s.owner = owner
 	for _, v := range blk.Nodes {
 		for _, w := range t.G.Succs(v) {
-			wi, ok := inBlk[w]
-			if !ok {
+			wi := localIdx[w]
+			if wi < 0 {
 				continue // cross-block edge: buffered, not part of the stream
 			}
-			from := graph.NodeID(inBlk[v])
+			from := graph.NodeID(localIdx[v])
 			if h, isBuf := head[v]; isBuf {
 				from = h
 			}
@@ -184,11 +221,16 @@ func (r *Result) assignPEs(t *core.TaskGraph, blk Block) {
 
 // blockTimes evaluates the ST/FO/LO recurrences of Section 5.1 for one block
 // and returns the completion time of the block (max LO over its nodes).
-func (r *Result) blockTimes(t *core.TaskGraph, part Partition, blk Block, blockStart float64, bufferFill []float64) float64 {
-	inBlk := make(map[graph.NodeID]bool, len(blk.Nodes))
+func (s *Scheduler) blockTimes(r *Result, t *core.TaskGraph, blk Block, blockStart float64) float64 {
+	inBlk, bufferFill := s.inBlk, s.bufferFill
 	for _, v := range blk.Nodes {
 		inBlk[v] = true
 	}
+	defer func() {
+		for _, v := range blk.Nodes {
+			inBlk[v] = false
+		}
+	}()
 
 	// Topological order restricted to the block (global topo order works).
 	topo := t.G.Topo()

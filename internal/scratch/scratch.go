@@ -1,0 +1,24 @@
+// Package scratch provides the tiny grow-and-clear slice helpers shared by
+// the scratch-reusing hot paths (schedule.Scheduler, desim.Scratch): return
+// a zeroed slice of the requested length, reusing capacity when possible.
+package scratch
+
+// GrowFloats returns a zeroed float slice of length n, reusing capacity.
+func GrowFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// GrowBools returns a cleared bool slice of length n, reusing capacity.
+func GrowBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

@@ -20,10 +20,18 @@ type Summary struct {
 	Outliers            []float64
 }
 
-// Summarize computes the box-plot summary of xs. It panics on empty input.
+// Summarize computes the box-plot summary of xs. An empty sample — which a
+// sharded sweep can legitimately produce for a cell whose jobs all belong to
+// other shards — yields N = 0 with every statistic NaN.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
-		panic("stats: Summarize of empty sample")
+		nan := math.NaN()
+		return Summary{
+			Min: nan, Max: nan,
+			Q1: nan, Median: nan, Q3: nan,
+			WhiskLow: nan, WhiskHigh: nan,
+			Mean: nan,
+		}
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

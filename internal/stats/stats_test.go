@@ -79,3 +79,20 @@ func TestQuantileMatchesSort(t *testing.T) {
 		t.Errorf("median = %g, want %g", s.Median, want)
 	}
 }
+
+// TestSummarizeEmpty: an empty sample (a sharded sweep cell owned entirely
+// by other shards) reports N = 0 and NaN statistics instead of panicking.
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("N = %d, want 0", s.N)
+	}
+	for name, v := range map[string]float64{
+		"Min": s.Min, "Max": s.Max, "Q1": s.Q1, "Median": s.Median,
+		"Q3": s.Q3, "Mean": s.Mean, "WhiskLow": s.WhiskLow, "WhiskHigh": s.WhiskHigh,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s = %g, want NaN", name, v)
+		}
+	}
+}
