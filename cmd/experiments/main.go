@@ -2,19 +2,29 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig10|fig11|fig12|fig13|table2] [-graphs N] [-seed S] [-quick] [-full-models]
-//	            [-workers N] [-shard i/n]
+//	experiments [-exp all|fig10|fig11|fig12|fig13|table2|ablation] [-graphs N] [-seed S]
+//	            [-quick] [-full-models] [-workers N] [-shard i/n] [-out shard.json]
+//	            [-cache dir] [-report]
+//	experiments -merge a.json b.json ...
 //
 // The default reproduces every experiment with 100 random graphs per
 // topology, as in the paper. -quick reduces graph counts and volumes for a
 // fast smoke run. -full-models runs Table 2 on the full-size ResNet-50 and
 // transformer-encoder graphs (tens of thousands of nodes).
 //
-// The sweeps behind Figures 10, 11, and 13 run on the concurrent engine of
-// internal/experiments: -workers sizes its goroutine pool (default
-// GOMAXPROCS) and -shard i/n runs only the i-th of n job shards so one sweep
-// can be split across processes or machines. The aggregated tables are
-// byte-identical at every worker count.
+// Every experiment — the Figure 10/11/13 sweeps, the Figure 12 CSDF
+// comparison, Table 2, and the buffer ablation — compiles to cell jobs on
+// the concurrent engine of internal/experiments: -workers sizes its
+// goroutine pool (default GOMAXPROCS) and -shard i/n runs only the i-th of
+// n job shards so one run can be split across processes or machines. -out
+// writes the shard's cells to a versioned JSON artifact instead of
+// rendering tables, and -merge validates and combines shard artifacts into
+// the final tables, byte-identical to an unsharded run (see
+// docs/ARTIFACTS.md for the format). -cache points at a persistent
+// results cache keyed by graph content, so repeated runs skip
+// already-computed cells; -report summarizes jobs, timings, and cache hits
+// on stderr. A run whose jobs partly failed still writes its output but
+// exits nonzero.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/results"
 )
 
 func main() {
@@ -31,66 +42,181 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "reduced graph counts and volumes")
 	fullModels := flag.Bool("full-models", false, "run Table 2 on full-size model graphs")
-	workers := flag.Int("workers", 0, "sweep worker goroutines (default GOMAXPROCS)")
-	shard := flag.String("shard", "", "run only shard i of n sweep jobs, format i/n")
+	workers := flag.Int("workers", 0, "engine worker goroutines (default GOMAXPROCS)")
+	shard := flag.String("shard", "", "run only shard i of n cell jobs, format i/n")
+	out := flag.String("out", "", "write this run's cells to a JSON shard artifact instead of rendering tables")
+	cacheDir := flag.String("cache", "", "persistent results cache directory; computed cells are reused across runs")
+	merge := flag.Bool("merge", false, "merge the shard artifacts given as arguments and render their tables")
+	report := flag.Bool("report", false, "print a job/timing/cache summary to stderr")
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if err := run(*exp, *graphs, *seed, *quick, *fullModels, *workers, *shard,
+		*out, *cacheDir, *merge, *report, explicit, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+}
+
+func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int,
+	shard, out, cacheDir string, merge, report bool, explicit map[string]bool, args []string) error {
+
+	if merge {
+		// Merge mode takes its entire configuration from the artifacts'
+		// metadata; any other flag would be silently ignored, so reject it.
+		for name := range explicit {
+			if name != "merge" {
+				return fmt.Errorf("-%s has no effect with -merge (the artifacts' metadata defines the run)", name)
+			}
+		}
+		return runMerge(args)
+	}
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected arguments %q (artifact files go with -merge)", args)
+	}
+
 	opt := experiments.Defaults()
-	if *quick {
+	if quick {
 		opt = experiments.Quick()
 	}
-	if *graphs > 0 {
-		opt.Graphs = *graphs
+	if graphs > 0 {
+		opt.Graphs = graphs
 	}
-	opt.Seed = *seed
-	opt.Workers = *workers
-	idx, count, err := experiments.ParseShard(*shard)
+	opt.Seed = seed
+
+	specs, err := buildSpecs(exp, opt, quick, fullModels)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
+	plan, err := experiments.Compile(specs)
+	if err != nil {
+		return err
+	}
+
+	idx, count, err := experiments.ParseShard(shard)
+	if err != nil {
+		return err
+	}
+	runner := experiments.Runner{Workers: workers, ShardIndex: idx, ShardCount: count}
+	if cacheDir != "" {
+		cache, err := results.OpenCache(cacheDir)
+		if err != nil {
+			return err
+		}
+		runner.Results = cache
+	}
+
+	set, rep := runner.RunPlan(plan)
+	experiments.ReportFailures(os.Stderr, rep)
+	if report {
+		fmt.Fprintf(os.Stderr, "report: %d jobs (%d skipped by shard), %d completed, %d cached, %d failed, elapsed %v, work %v\n",
+			rep.Jobs, rep.Skipped, rep.Completed, rep.CacheHits, len(rep.Failures), rep.Elapsed, rep.Work)
+	}
+
+	if out != "" {
+		art := &results.Artifact{
+			Meta:  experiments.MetaFromSpecs(specs, idx, count),
+			Cells: set.Cells(),
+		}
+		for _, f := range rep.Failures {
+			art.Failures = append(art.Failures, results.Failure{Label: f.Job.String(), Err: f.Err.Error()})
+		}
+		if err := art.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d cells to %s (shard %d/%d); combine with -merge\n",
+			set.Len(), out, art.Meta.ShardIndex, art.Meta.ShardCount)
+		return failedJobsError(len(rep.Failures), rep.Jobs)
+	}
+
 	if count > 1 {
-		// Only the Fig10/11/13 sweeps shard; fig12, table2, and the ablation
-		// would run whole in every shard, silently duplicating their work and
-		// double-counting samples in a merge.
-		switch *exp {
-		case "fig10", "fig11", "fig13":
+		fmt.Fprintf(os.Stderr, "note: rendering shard %d/%d only; use -out and -merge for complete tables\n", idx, count)
+	}
+	experiments.Render(os.Stdout, plan, set)
+	return failedJobsError(len(rep.Failures), rep.Jobs)
+}
+
+// failedJobsError turns dropped cells into a nonzero exit: the tables (or
+// the artifact) are still produced, but scripts must not mistake an
+// incomplete run for success.
+func failedJobsError(failed, jobs int) error {
+	if failed == 0 {
+		return nil
+	}
+	return fmt.Errorf("%d of %d jobs failed; output is incomplete", failed, jobs)
+}
+
+// buildSpecs selects the experiments to run, in canonical order. As in the
+// paper's scripts, fig13 and the ablation run element-level simulations, so
+// a full-size run scales their volumes down to the quick config.
+func buildSpecs(exp string, opt experiments.Options, quick, fullModels bool) ([]experiments.Spec, error) {
+	simOpt := opt
+	if !quick {
+		simOpt.Config = experiments.Quick().Config // element-level simulation
+	}
+	var specs []experiments.Spec
+	for _, name := range experiments.ExperimentNames {
+		if exp != "all" && exp != name {
+			continue
+		}
+		switch name {
+		case "table2":
+			specs = append(specs, experiments.Spec{Name: name, Full: fullModels})
+		case "fig13", "ablation":
+			specs = append(specs, experiments.Spec{Name: name, Opt: simOpt})
 		default:
-			fmt.Fprintf(os.Stderr, "-shard applies only to -exp fig10, fig11, or fig13 (%q would run in full in every shard)\n", *exp)
-			os.Exit(2)
+			specs = append(specs, experiments.Spec{Name: name, Opt: opt})
 		}
 	}
-	opt.ShardIndex, opt.ShardCount = idx, count
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+	return specs, nil
+}
 
-	w := os.Stdout
-	run := func(name string, f func()) {
-		if *exp == "all" || *exp == name {
-			f()
+// runMerge combines shard artifacts from separate processes into the final
+// tables: validate that the shards belong to one run and neither overlap
+// nor miss cells, then render from the merged set.
+func runMerge(files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("-merge needs at least one artifact file")
+	}
+	arts := make([]*results.Artifact, 0, len(files))
+	for _, f := range files {
+		a, err := results.ReadArtifactFile(f)
+		if err != nil {
+			return err
+		}
+		arts = append(arts, a)
+	}
+	set, meta, err := results.Merge(arts)
+	if err != nil {
+		return err
+	}
+	specs, err := experiments.SpecsFromMeta(meta)
+	if err != nil {
+		return err
+	}
+	plan, err := experiments.Compile(specs)
+	if err != nil {
+		return err
+	}
+	// Cells missing because their shard recorded a job failure render like
+	// the in-process path: dropped from the aggregates, reported on stderr.
+	excused := make(map[string]bool)
+	var failed []results.Failure
+	for _, a := range arts {
+		for _, f := range a.Failures {
+			excused[f.Label] = true
+			failed = append(failed, f)
 		}
 	}
-	run("fig10", func() { experiments.Fig10(w, opt) })
-	run("fig11", func() { experiments.Fig11(w, opt) })
-	run("fig12", func() { experiments.Fig12(w, opt) })
-	run("fig13", func() {
-		o := opt
-		if !*quick {
-			o.Config = experiments.Quick().Config // element-level simulation
-		}
-		experiments.Fig13(w, o)
-	})
-	run("table2", func() { experiments.Table2(w, *fullModels) })
-	run("ablation", func() {
-		o := opt
-		if !*quick {
-			o.Config = experiments.Quick().Config // element-level simulation
-		}
-		experiments.AblationBuffers(w, o)
-	})
-
-	switch *exp {
-	case "all", "fig10", "fig11", "fig12", "fig13", "table2", "ablation":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if err := experiments.VerifySet(plan, set, excused); err != nil {
+		return err
 	}
+	experiments.ReportArtifactFailures(os.Stderr, failed)
+	experiments.Render(os.Stdout, plan, set)
+	return failedJobsError(len(failed), len(plan.Jobs))
 }

@@ -17,7 +17,10 @@
 // -sweep schedules the graph at every PE count of a comma-separated list on
 // the worker pool of internal/experiments (-workers goroutines, default
 // GOMAXPROCS; -shard i/n runs only one shard of the list) and prints one
-// table row per PE count.
+// table row per PE count. To regenerate the paper's full evaluation —
+// including sharding across processes, artifact merging, and the
+// persistent results cache — use cmd/experiments; docs/ARCHITECTURE.md
+// maps how the two commands share the scheduling and experiment layers.
 package main
 
 import (

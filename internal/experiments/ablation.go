@@ -1,15 +1,10 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 	"math/rand"
 
-	"repro/internal/buffers"
 	"repro/internal/core"
-	"repro/internal/desim"
-	"repro/internal/schedule"
-	"repro/internal/stats"
 	"repro/internal/synth"
 )
 
@@ -53,48 +48,9 @@ func diamondTopology() Topology {
 // with unit FIFOs everywhere. Unit FIFOs either deadlock the block (the
 // Figure 9 failure) or stall producers into a longer makespan; the table
 // reports the deadlock rate and the slowdown distribution of the runs that
-// survive.
+// survive. The graphs run as ablation cell jobs on the concurrent engine
+// (see ablationJobs); a graph whose sized simulation deadlocks is reported
+// as a job failure instead of panicking.
 func AblationBuffers(w io.Writer, opt Options) {
-	fmt.Fprintf(w, "== Ablation: Equation 5 buffer sizing vs unit FIFOs (%d graphs/topology) ==\n\n", opt.Graphs)
-	for _, topo := range append(Topologies(), diamondTopology()) {
-		p := topo.PEs[len(topo.PEs)/2]
-		var slowdowns []float64
-		deadlocks, runs := 0, 0
-		for g := 0; g < opt.Graphs; g++ {
-			rng := rand.New(rand.NewSource(opt.Seed + int64(g)))
-			tg := topo.Build(rng, opt.Config)
-			part, err := schedule.PartitionLTS(tg, p)
-			if err != nil {
-				panic(err)
-			}
-			res, err := schedule.Schedule(tg, part, p)
-			if err != nil {
-				panic(err)
-			}
-			sized, err := desim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
-			if err != nil {
-				panic(err)
-			}
-			if sized.Deadlocked {
-				panic("sized simulation deadlocked") // Figure 13 guarantees it cannot
-			}
-			unit, err := desim.Simulate(tg, res, desim.Config{DefaultCap: 1})
-			if err != nil {
-				panic(err)
-			}
-			runs++
-			if unit.Deadlocked {
-				deadlocks++
-				continue
-			}
-			slowdowns = append(slowdowns, unit.Makespan/sized.Makespan)
-		}
-		fmt.Fprintf(w, "%s (#Tasks = %d, P = %d)\n", topo.Name, topo.Tasks, p)
-		fmt.Fprintf(w, "  unit FIFOs deadlock %d/%d graphs\n", deadlocks, runs)
-		if len(slowdowns) > 0 {
-			s := stats.Summarize(slowdowns)
-			fmt.Fprintf(w, "  survivors run %.2fx slower (median; max %.2fx)\n", s.Median, s.Max)
-		}
-		fmt.Fprintln(w)
-	}
+	runSpecs(w, []Spec{{Name: "ablation", Opt: opt}})
 }

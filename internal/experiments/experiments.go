@@ -6,10 +6,18 @@
 //	Figure 12  scheduling time and makespan ratio vs the CSDF engine
 //	Figure 13  relative error of the discrete-event validation
 //	Table 2    ResNet-50 and transformer-encoder speedups
+//	Ablation   Equation 5 buffer sizing vs unit FIFOs
 //
-// Each experiment prints the same rows/series the paper reports, with
-// box-plot summaries standing in for the plots. Randomness is seeded, so
-// every run is reproducible.
+// Every experiment compiles (Compile) to cell jobs on the concurrent
+// Runner: one job evaluates one (graph, PE count, variant) combination and
+// emits a results.Cell. Jobs shard across worker goroutines and across
+// processes (Runner.ShardIndex/ShardCount), shards serialize to versioned
+// JSON artifacts that results.Merge recombines deterministically, and a
+// persistent results.Cache keyed by graph content lets repeated runs skip
+// already-computed cells. Tables render (Render) from the merged cell set
+// and are byte-identical however the cells were produced. Randomness is
+// seeded, so every run is reproducible; box-plot summaries stand in for
+// the paper's plots.
 package experiments
 
 import (
@@ -17,16 +25,12 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/buffers"
 	"repro/internal/core"
-	"repro/internal/csdf"
 	"repro/internal/desim"
-	"repro/internal/onnx"
 	"repro/internal/schedule"
-	"repro/internal/stats"
 	"repro/internal/synth"
 )
 
@@ -39,10 +43,10 @@ type Options struct {
 	Seed int64
 	// Config bounds the random volumes of the synthetic generators.
 	Config synth.Config
-	// Workers is the worker-pool size used by the sweeps; <= 0 means
+	// Workers is the worker-pool size used by the engine; <= 0 means
 	// GOMAXPROCS. The aggregated results are identical at every setting.
 	Workers int
-	// ShardIndex/ShardCount restrict the sweep to one shard of its jobs so
+	// ShardIndex/ShardCount restrict a run to one shard of its jobs so
 	// runs can be split across processes; ShardCount <= 1 disables sharding.
 	ShardIndex, ShardCount int
 }
@@ -101,8 +105,8 @@ type SweepPoint struct {
 }
 
 // RunSweep evaluates one topology across its PE counts on the concurrent
-// sweep engine, honoring opt.Workers and the shard settings. When simulate
-// is true, the Appendix B discrete-event validation also runs (Figure 13).
+// engine, honoring opt.Workers and the shard settings. When simulate is
+// true, the Appendix B discrete-event validation also runs (Figure 13).
 // The result is byte-identical to RunSweepSequential at any worker count.
 // Failed jobs are dropped from the aggregate and reported on stderr (where
 // the sequential reference would have panicked); callers that need the full
@@ -114,21 +118,11 @@ func RunSweep(topo Topology, opt Options, simulate bool) []SweepPoint {
 		ShardCount: opt.ShardCount,
 	}.Sweep(topo, opt, simulate)
 	if len(rep.Failures) > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %s sweep: %d/%d jobs failed, their samples are missing from the tables\n",
-			topo.Name, len(rep.Failures), rep.Jobs)
-		for i, f := range rep.Failures {
-			if i == maxReportedFailures {
-				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(rep.Failures)-i)
-				break
-			}
-			fmt.Fprintf(os.Stderr, "  %v\n", f)
-		}
+		fmt.Fprintf(os.Stderr, "experiments: %s sweep:\n", topo.Name)
+		ReportFailures(os.Stderr, rep)
 	}
 	return points
 }
-
-// maxReportedFailures bounds the per-sweep failure lines RunSweep prints.
-const maxReportedFailures = 10
 
 // RunSweepSequential is the single-goroutine reference implementation of the
 // sweep; Runner.Sweep must reproduce its aggregates exactly. Unlike the
@@ -199,121 +193,20 @@ func RunSweepSequential(topo Topology, opt Options, simulate bool) []SweepPoint 
 // Fig10 prints the speedup distributions of streaming (STR-SCH-1/2) and
 // non-streaming (NSTR-SCH) scheduling with PE utilization, one table per
 // topology.
-func Fig10(w io.Writer, opt Options) {
-	fmt.Fprintf(w, "== Figure 10: speedup over sequential execution (%d graphs/topology) ==\n\n", opt.Graphs)
-	for _, topo := range Topologies() {
-		points := RunSweep(topo, opt, false)
-		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
-		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s %8s  %s\n",
-			"PEs", "scheduler", "Q1", "median", "Q3", "mean", "PE util (mean)")
-		for _, pt := range points {
-			rows := []struct {
-				name string
-				sp   []float64
-				util []float64
-			}{
-				{"STR-SCH-1", pt.SpeedupLTS, pt.UtilLTS},
-				{"STR-SCH-2", pt.SpeedupRLX, pt.UtilRLX},
-				{"NSTR-SCH", pt.SpeedupNSTR, pt.UtilNSTR},
-			}
-			for _, r := range rows {
-				s := stats.Summarize(r.sp)
-				u := stats.Summarize(r.util)
-				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f %8.2f  %.0f%%\n",
-					pt.PEs, r.name, s.Q1, s.Median, s.Q3, s.Mean, 100*u.Mean)
-			}
-		}
-		fmt.Fprintln(w)
-	}
-}
+func Fig10(w io.Writer, opt Options) { runSpecs(w, []Spec{{Name: "fig10", Opt: opt}}) }
 
 // Fig11 prints the streaming SLR distributions of the two heuristics.
-func Fig11(w io.Writer, opt Options) {
-	fmt.Fprintf(w, "== Figure 11: streaming SLR (makespan / streaming depth, %d graphs/topology) ==\n\n", opt.Graphs)
-	for _, topo := range Topologies() {
-		points := RunSweep(topo, opt, false)
-		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
-		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s\n", "PEs", "scheduler", "Q1", "median", "Q3")
-		for _, pt := range points {
-			for _, r := range []struct {
-				name string
-				xs   []float64
-			}{{"STR-SCH-1", pt.SSLRLTS}, {"STR-SCH-2", pt.SSLRRLX}} {
-				s := stats.Summarize(r.xs)
-				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f\n", pt.PEs, r.name, s.Q1, s.Median, s.Q3)
-			}
-		}
-		fmt.Fprintln(w)
-	}
-}
+func Fig11(w io.Writer, opt Options) { runSpecs(w, []Spec{{Name: "fig11", Opt: opt}}) }
 
 // Fig12 compares the canonical-graph scheduler against the CSDF self-timed
 // engine: analysis time per graph and makespan ratio (ours / CSDF optimum),
 // with as many PEs as tasks and the SB-RLX heuristic, as in Section 7.2.
-func Fig12(w io.Writer, opt Options) {
-	fmt.Fprintf(w, "== Figure 12: canonical task graphs vs CSDF (%d graphs/topology) ==\n\n", opt.Graphs)
-	for _, topo := range Topologies() {
-		var schedTimes, csdfTimes, ratios []float64
-		for g := 0; g < opt.Graphs; g++ {
-			rng := rand.New(rand.NewSource(opt.Seed + int64(g)))
-			tg := topo.Build(rng, opt.Config)
-			p := tg.NumComputeNodes()
-
-			t0 := time.Now()
-			part, err := schedule.PartitionRLX(tg, p)
-			if err != nil {
-				panic(err)
-			}
-			res, err := schedule.Schedule(tg, part, p)
-			if err != nil {
-				panic(err)
-			}
-			schedTimes = append(schedTimes, time.Since(t0).Seconds())
-
-			t0 = time.Now()
-			cg, err := csdf.FromCanonical(tg)
-			if err != nil {
-				panic(err)
-			}
-			optimal, err := cg.SelfTimedMakespan()
-			if err != nil {
-				panic(err)
-			}
-			csdfTimes = append(csdfTimes, time.Since(t0).Seconds())
-			ratios = append(ratios, res.Makespan/optimal)
-		}
-		st, ct, rt := stats.Summarize(schedTimes), stats.Summarize(csdfTimes), stats.Summarize(ratios)
-		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
-		fmt.Fprintf(w, "  scheduling time  STR-SCHD median %.3gs   CSDF median %.3gs   (x%.0f)\n",
-			st.Median, ct.Median, ct.Median/st.Median)
-		fmt.Fprintf(w, "  makespan ratio   median %.4f  q1 %.4f  q3 %.4f  max %.4f\n\n",
-			rt.Median, rt.Q1, rt.Q3, rt.Max)
-	}
-}
+func Fig12(w io.Writer, opt Options) { runSpecs(w, []Spec{{Name: "fig12", Opt: opt}}) }
 
 // Fig13 prints the Appendix B validation: relative error (%) between the
 // scheduled and the simulated makespan, and confirms no simulation
 // deadlocked with the computed buffer sizes.
-func Fig13(w io.Writer, opt Options) {
-	fmt.Fprintf(w, "== Figure 13: discrete-event validation, relative error %% (%d graphs/topology) ==\n\n", opt.Graphs)
-	for _, topo := range Topologies() {
-		points := RunSweep(topo, opt, true)
-		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
-		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s %8s %8s  %s\n",
-			"PEs", "scheduler", "min", "Q1", "median", "Q3", "max", "deadlocks")
-		for _, pt := range points {
-			for _, r := range []struct {
-				name string
-				xs   []float64
-			}{{"STR-SCH-1", pt.ErrLTS}, {"STR-SCH-2", pt.ErrRLX}} {
-				s := stats.Summarize(r.xs)
-				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f %8.2f %8.2f  %d\n",
-					pt.PEs, r.name, s.Min, s.Q1, s.Median, s.Q3, s.Max, pt.Deadlocks)
-			}
-		}
-		fmt.Fprintln(w)
-	}
-}
+func Fig13(w io.Writer, opt Options) { runSpecs(w, []Spec{{Name: "fig13", Opt: opt}}) }
 
 // Table2Row is one PE configuration of Table 2.
 type Table2Row struct {
@@ -324,7 +217,9 @@ type Table2Row struct {
 }
 
 // Table2Model evaluates one model graph across PE counts using the SB-LTS
-// streaming heuristic against the buffered baseline.
+// streaming heuristic against the buffered baseline. It is the sequential
+// reference for the table2 cell jobs and is kept as the oracle of the
+// equivalence tests.
 func Table2Model(tg *core.TaskGraph, pes []int) []Table2Row {
 	rows := make([]Table2Row, 0, len(pes))
 	for _, p := range pes {
@@ -352,50 +247,7 @@ func Table2Model(tg *core.TaskGraph, pes []int) []Table2Row {
 
 // Table2 prints the ResNet-50 and transformer-encoder comparison. When full
 // is false, proportionally scaled models keep the run under a second.
-func Table2(w io.Writer, full bool) {
-	type model struct {
-		name  string
-		build func() (*core.TaskGraph, error)
-		pes   []int
-	}
-	models := []model{
-		{"Resnet-50", func() (*core.TaskGraph, error) {
-			if full {
-				return onnx.ResNet50(onnx.FullResNet50())
-			}
-			return onnx.ResNet50(onnx.TinyResNet50())
-		}, []int{512, 1024, 1536, 2048}},
-		{"Transformer encoder layer", func() (*core.TaskGraph, error) {
-			if full {
-				return onnx.TransformerEncoder(onnx.BaseEncoder())
-			}
-			return onnx.TransformerEncoder(onnx.TinyEncoder())
-		}, []int{256, 512, 768, 1024, 2048}},
-	}
-	if !full {
-		models[0].pes = []int{64, 128, 192, 256}
-		models[1].pes = []int{32, 64, 96, 128}
-	}
-	fmt.Fprintf(w, "== Table 2: ML inference workloads (full=%v) ==\n\n", full)
-	for _, m := range models {
-		tg, err := m.build()
-		if err != nil {
-			panic(err)
-		}
-		var bufs int
-		for _, n := range tg.Nodes {
-			if n.Kind == core.Buffer {
-				bufs++
-			}
-		}
-		fmt.Fprintf(w, "%s: %d nodes (%d buffer nodes)\n", m.name, tg.Len(), bufs)
-		fmt.Fprintf(w, "%6s  %12s %13s %6s\n", "#PEs", "STR speedup", "NSTR speedup", "G")
-		for _, r := range Table2Model(tg, m.pes) {
-			fmt.Fprintf(w, "%6d  %12.1f %13.1f %6.1f\n", r.PEs, r.StrSpeedup, r.NstrSpeedup, r.Gain)
-		}
-		fmt.Fprintln(w)
-	}
-}
+func Table2(w io.Writer, full bool) { runSpecs(w, []Spec{{Name: "table2", Full: full}}) }
 
 // newRng returns a seeded random source; kept here so tests and callers
 // share one construction point.

@@ -1,0 +1,554 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/buffers"
+	"repro/internal/core"
+	"repro/internal/csdf"
+	"repro/internal/desim"
+	"repro/internal/onnx"
+	"repro/internal/results"
+	"repro/internal/schedule"
+)
+
+// Variant names identify the evaluation procedure of a cell; together with
+// the graph and PE count they address one unit of experiment output in
+// shard artifacts and the results cache (see docs/ARTIFACTS.md for the
+// values each variant produces).
+const (
+	// VariantLTS, VariantRLX, and VariantNSTR are the sweep procedures
+	// behind Figures 10, 11, and 13: the two streaming heuristics and the
+	// non-streaming baseline.
+	VariantLTS  = "SB-LTS"
+	VariantRLX  = "SB-RLX"
+	VariantNSTR = "NSTR"
+	// VariantFig12Str and VariantFig12CSDF are the Section 7.2 comparison:
+	// the canonical-graph scheduler and the CSDF self-timed engine, each
+	// with as many PEs as compute nodes (the PEs field of their keys is the
+	// 0 sentinel).
+	VariantFig12Str  = "fig12-str"
+	VariantFig12CSDF = "fig12-csdf"
+	// VariantTable2Str and VariantTable2NSTR are the Table 2 model rows:
+	// SB-LTS streaming vs the buffered baseline.
+	VariantTable2Str  = "table2-str"
+	VariantTable2NSTR = "table2-nstr"
+	// VariantAblationUnit is the buffer-sizing ablation: one schedule
+	// simulated with Equation 5 FIFO sizes and again with unit FIFOs.
+	VariantAblationUnit = "ablation-unit"
+)
+
+// ExperimentNames lists the experiments in their canonical rendering
+// order, the order `-exp all` runs them in.
+var ExperimentNames = []string{"fig10", "fig11", "fig12", "fig13", "table2", "ablation"}
+
+// Spec selects one experiment and the options it runs with. A slice of
+// specs compiles to a Plan.
+type Spec struct {
+	// Name is one of ExperimentNames.
+	Name string
+	// Opt bounds the synthetic families (ignored by table2).
+	Opt Options
+	// Full selects the full-size Table 2 model graphs (table2 only).
+	Full bool
+}
+
+// CellJob is one schedulable unit of an experiment: build (or fetch) one
+// task graph, run one evaluation procedure on it, and emit the named
+// values of a results.Cell.
+type CellJob struct {
+	// Job is the human-readable identity used in reports and failures.
+	Job Job
+	// Key addresses the produced cell in artifacts and cell sets.
+	Key results.CellKey
+	// graphKey memoizes graph construction in a GraphCache.
+	graphKey string
+	build    func() *core.TaskGraph
+	eval     func(ws *workerState, tg *core.TaskGraph, depth float64) (map[string]float64, error)
+}
+
+// Plan is the deduplicated, canonically ordered job list compiled from a
+// set of specs. Compiling fig10 and fig11 together yields each sweep cell
+// once: both figures render from the same cells.
+type Plan struct {
+	Specs []Spec
+	Jobs  []CellJob
+	// graphs memoizes graph construction across job execution and table
+	// rendering (Table 2 prints node counts of the graphs it evaluated).
+	graphs *GraphCache
+}
+
+// Compile expands the specs into their cell jobs, deduplicating by cell
+// key, in a deterministic order every process of a sharded run agrees on.
+func Compile(specs []Spec) (*Plan, error) {
+	p := &Plan{Specs: specs, graphs: NewGraphCache()}
+	seen := make(map[results.CellKey]bool)
+	add := func(jobs []CellJob) {
+		for _, j := range jobs {
+			if seen[j.Key] {
+				continue
+			}
+			seen[j.Key] = true
+			p.Jobs = append(p.Jobs, j)
+		}
+	}
+	for _, s := range specs {
+		switch s.Name {
+		case "fig10", "fig11":
+			for _, topo := range Topologies() {
+				add(sweepTopoJobs(topo, s.Opt, false))
+			}
+		case "fig13":
+			for _, topo := range Topologies() {
+				add(sweepTopoJobs(topo, s.Opt, true))
+			}
+		case "fig12":
+			add(fig12Jobs(s.Opt))
+		case "table2":
+			add(table2Jobs(s.Full))
+		case "ablation":
+			add(ablationJobs(s.Opt))
+		default:
+			return nil, fmt.Errorf("experiments: unknown experiment %q", s.Name)
+		}
+	}
+	return p, nil
+}
+
+// VerifySet checks a cell set against the plan: every compiled job must
+// have produced its cell (a merge with a missing shard fails here) and no
+// cell may be foreign to the plan. A missing cell whose job label appears
+// in excused — the failures recorded by the shard that owned it — is
+// tolerated, mirroring the in-process behavior where a failed job drops
+// its samples from the tables instead of sinking the run.
+func VerifySet(p *Plan, set *results.Set, excused map[string]bool) error {
+	planned := make(map[results.CellKey]bool, len(p.Jobs))
+	var missing []string
+	for _, j := range p.Jobs {
+		planned[j.Key] = true
+		if !set.Has(j.Key) && !excused[j.Job.String()] {
+			missing = append(missing, j.Key.String())
+		}
+	}
+	var unexpected []string
+	for _, c := range set.Cells() {
+		if !planned[c.Key] {
+			unexpected = append(unexpected, c.Key.String())
+		}
+	}
+	if len(missing) == 0 && len(unexpected) == 0 {
+		return nil
+	}
+	const show = 5
+	msg := fmt.Sprintf("cell set does not match the run configuration: %d missing, %d unexpected",
+		len(missing), len(unexpected))
+	for i, k := range missing {
+		if i == show {
+			msg += fmt.Sprintf("\n  ... and %d more missing", len(missing)-i)
+			break
+		}
+		msg += "\n  missing " + k
+	}
+	for i, k := range unexpected {
+		if i == show {
+			msg += fmt.Sprintf("\n  ... and %d more unexpected", len(unexpected)-i)
+			break
+		}
+		msg += "\n  unexpected " + k
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// MetaFromSpecs records a run's specs and shard position as artifact
+// metadata, enough for SpecsFromMeta to recompile the identical plan in a
+// reader process. Worker counts and shard settings inside Opt are
+// deliberately dropped: they do not affect the compiled jobs.
+func MetaFromSpecs(specs []Spec, shardIndex, shardCount int) results.Meta {
+	if shardCount < 1 {
+		shardIndex, shardCount = 0, 1
+	}
+	m := results.Meta{ShardIndex: shardIndex, ShardCount: shardCount}
+	for _, s := range specs {
+		em := results.ExpMeta{Name: s.Name}
+		if s.Name == "table2" {
+			em.FullModels = s.Full
+		} else {
+			cfg := s.Opt.Config
+			em.Graphs, em.Seed, em.Config = s.Opt.Graphs, s.Opt.Seed, &cfg
+		}
+		m.Experiments = append(m.Experiments, em)
+	}
+	return m
+}
+
+// SpecsFromMeta reverses MetaFromSpecs.
+func SpecsFromMeta(m results.Meta) ([]Spec, error) {
+	specs := make([]Spec, 0, len(m.Experiments))
+	for _, em := range m.Experiments {
+		s := Spec{Name: em.Name}
+		if em.Name == "table2" {
+			s.Full = em.FullModels
+		} else {
+			if em.Config == nil {
+				return nil, fmt.Errorf("experiments: artifact metadata for %q lacks a synth config", em.Name)
+			}
+			s.Opt = Options{Graphs: em.Graphs, Seed: em.Seed, Config: *em.Config}
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// graphID names one generated graph instance for cell keys and the
+// per-run graph cache: family, seed, a fingerprint of the generator
+// config (two sweeps over differently-bounded volumes must never share
+// cells), and the instance index.
+func graphID(family string, opt Options, g int) string {
+	return fmt.Sprintf("%s/s%d/c%s/g%d", family, opt.Seed, configTag(opt.Config), g)
+}
+
+// configTag is a short content hash of the synth config.
+func configTag(cfg any) string {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: hashing synth config: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:4])
+}
+
+// sweepKey addresses one sweep cell of Figures 10/11/13. The NSTR
+// baseline never simulates, so its cells always carry Simulate=false and
+// a fig13 run shares them with fig10/fig11 instead of recomputing the
+// baseline.
+func sweepKey(topo Topology, opt Options, g, pes int, variant string, simulate bool) results.CellKey {
+	if variant == VariantNSTR {
+		simulate = false
+	}
+	return results.CellKey{Graph: graphID(topo.Name, opt, g), PEs: pes, Variant: variant, Simulate: simulate}
+}
+
+// sweepTopoJobs enumerates one topology's sweep in the sequential loop's
+// order — graphs outermost, then PE counts, then LTS/RLX/NSTR — so that
+// aggregating completed cells in job order reproduces the sequential
+// append order bit for bit.
+func sweepTopoJobs(topo Topology, opt Options, simulate bool) []CellJob {
+	jobs := make([]CellJob, 0, opt.Graphs*len(topo.PEs)*numSweepVariants)
+	for g := 0; g < opt.Graphs; g++ {
+		gid := graphID(topo.Name, opt, g)
+		build := graphBuilder(topo, opt, g)
+		for _, p := range topo.PEs {
+			for _, variant := range []string{VariantLTS, VariantRLX, VariantNSTR} {
+				sim := simulate && variant != VariantNSTR // the baseline never simulates
+				jobs = append(jobs, CellJob{
+					Job:      Job{Family: topo.Name, Graph: g, PEs: p, Variant: variant, Simulate: sim},
+					Key:      sweepKey(topo, opt, g, p, variant, sim),
+					graphKey: gid,
+					build:    build,
+					eval:     sweepEval(variant, p, sim),
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// numSweepVariants is the LTS/RLX/NSTR fan-out per (graph, PE) sweep cell.
+const numSweepVariants = 3
+
+// graphBuilder seeds and builds one instance of a synthetic family.
+func graphBuilder(topo Topology, opt Options, g int) func() *core.TaskGraph {
+	return func() *core.TaskGraph {
+		return topo.Build(newRng(opt.Seed+int64(g)), opt.Config)
+	}
+}
+
+// sweepEval evaluates one scheduler variant at one PE count; the
+// arithmetic matches RunSweepSequential exactly, so cells are bitwise
+// reproducible.
+func sweepEval(variant string, pes int, simulate bool) func(*workerState, *core.TaskGraph, float64) (map[string]float64, error) {
+	return func(ws *workerState, tg *core.TaskGraph, depth float64) (map[string]float64, error) {
+		if variant == VariantNSTR {
+			nstr, err := baseline.Schedule(tg, pes, baseline.Options{Insertion: true})
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{"speedup": nstr.Speedup(tg), "util": nstr.Utilization(tg)}, nil
+		}
+		v := schedule.SBLTS
+		if variant == VariantRLX {
+			v = schedule.SBRLX
+		}
+		part, err := schedule.Algorithm1(tg, pes, schedule.Options{Variant: v})
+		if err != nil {
+			return nil, err
+		}
+		res, err := ws.sched.Schedule(tg, part, pes)
+		if err != nil {
+			return nil, err
+		}
+		vals := map[string]float64{
+			"speedup": res.Speedup(tg),
+			"sslr":    res.Makespan / depth,
+			"util":    res.Utilization(tg, pes),
+		}
+		if simulate {
+			st, err := ws.sim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+			if err != nil {
+				return nil, err
+			}
+			vals["simerr"], vals["deadlock"] = 0, 0
+			if st.Deadlocked {
+				vals["deadlock"] = 1
+			} else {
+				vals["simerr"] = st.RelativeError(res.Makespan)
+			}
+		}
+		return vals, nil
+	}
+}
+
+// fig12Key addresses one side of the Figure 12 comparison; PEs is the
+// "as many PEs as compute nodes" 0 sentinel, since the count is a function
+// of the graph.
+func fig12Key(topo Topology, opt Options, g int, variant string) results.CellKey {
+	return results.CellKey{Graph: graphID(topo.Name, opt, g), PEs: 0, Variant: variant}
+}
+
+// fig12Jobs compiles the Section 7.2 comparison: per graph, one job
+// timing the canonical-graph scheduler (SB-RLX, as many PEs as tasks) and
+// one timing the CSDF self-timed engine. The makespan ratio is computed at
+// render time from the two cells.
+func fig12Jobs(opt Options) []CellJob {
+	var jobs []CellJob
+	for _, topo := range Topologies() {
+		for g := 0; g < opt.Graphs; g++ {
+			gid := graphID(topo.Name, opt, g)
+			build := graphBuilder(topo, opt, g)
+			jobs = append(jobs,
+				CellJob{
+					Job:      Job{Family: topo.Name, Graph: g, Variant: VariantFig12Str},
+					Key:      fig12Key(topo, opt, g, VariantFig12Str),
+					graphKey: gid,
+					build:    build,
+					eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
+						p := tg.NumComputeNodes()
+						var res *schedule.Result
+						var err error
+						dur := ws.measure(func() {
+							var part schedule.Partition
+							part, err = schedule.PartitionRLX(tg, p)
+							if err != nil {
+								return
+							}
+							res, err = ws.sched.Schedule(tg, part, p)
+						})
+						if err != nil {
+							return nil, err
+						}
+						return map[string]float64{"seconds": dur.Seconds(), "makespan": res.Makespan}, nil
+					},
+				},
+				CellJob{
+					Job:      Job{Family: topo.Name, Graph: g, Variant: VariantFig12CSDF},
+					Key:      fig12Key(topo, opt, g, VariantFig12CSDF),
+					graphKey: gid,
+					build:    build,
+					eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
+						var optimal float64
+						var err error
+						dur := ws.measure(func() {
+							var cg *csdf.Graph
+							cg, err = csdf.FromCanonical(tg)
+							if err != nil {
+								return
+							}
+							optimal, err = cg.SelfTimedMakespan()
+						})
+						if err != nil {
+							return nil, err
+						}
+						return map[string]float64{"seconds": dur.Seconds(), "makespan": optimal}, nil
+					},
+				},
+			)
+		}
+	}
+	return jobs
+}
+
+// table2Model is one ML workload of Table 2.
+type table2Model struct {
+	name  string
+	gid   string // cell-key graph id and graph-cache key
+	build func() *core.TaskGraph
+	pes   []int
+}
+
+// table2Models returns the Table 2 workloads with the paper's PE sweeps
+// (or proportionally scaled ones that keep a non-full run under a second).
+func table2Models(full bool) []table2Model {
+	size := "tiny"
+	if full {
+		size = "full"
+	}
+	mustBuild := func(build func() (*core.TaskGraph, error)) func() *core.TaskGraph {
+		return func() *core.TaskGraph {
+			tg, err := build()
+			if err != nil {
+				panic(err) // the model graphs are static; failing to build one is a bug
+			}
+			return tg
+		}
+	}
+	models := []table2Model{
+		{
+			name: "Resnet-50",
+			gid:  "model:Resnet-50/" + size,
+			build: mustBuild(func() (*core.TaskGraph, error) {
+				if full {
+					return onnx.ResNet50(onnx.FullResNet50())
+				}
+				return onnx.ResNet50(onnx.TinyResNet50())
+			}),
+			pes: []int{512, 1024, 1536, 2048},
+		},
+		{
+			name: "Transformer encoder layer",
+			gid:  "model:Transformer-encoder/" + size,
+			build: mustBuild(func() (*core.TaskGraph, error) {
+				if full {
+					return onnx.TransformerEncoder(onnx.BaseEncoder())
+				}
+				return onnx.TransformerEncoder(onnx.TinyEncoder())
+			}),
+			pes: []int{256, 512, 768, 1024, 2048},
+		},
+	}
+	if !full {
+		models[0].pes = []int{64, 128, 192, 256}
+		models[1].pes = []int{32, 64, 96, 128}
+	}
+	return models
+}
+
+// table2Jobs compiles one streaming and one baseline job per (model, PE
+// count) row; the gain column is the ratio of the two makespans, computed
+// at render time.
+func table2Jobs(full bool) []CellJob {
+	var jobs []CellJob
+	for _, m := range table2Models(full) {
+		for _, p := range m.pes {
+			jobs = append(jobs,
+				CellJob{
+					Job:      Job{Family: m.name, PEs: p, Variant: VariantTable2Str},
+					Key:      results.CellKey{Graph: m.gid, PEs: p, Variant: VariantTable2Str},
+					graphKey: m.gid,
+					build:    m.build,
+					eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
+						part, err := schedule.PartitionLTS(tg, p)
+						if err != nil {
+							return nil, err
+						}
+						res, err := ws.sched.Schedule(tg, part, p)
+						if err != nil {
+							return nil, err
+						}
+						var bufs int
+						for _, n := range tg.Nodes {
+							if n.Kind == core.Buffer {
+								bufs++
+							}
+						}
+						// The graph shape rides along so a -merge can print the
+						// model header without rebuilding the (possibly huge) graph.
+						return map[string]float64{
+							"speedup": res.Speedup(tg), "makespan": res.Makespan,
+							"nodes": float64(tg.Len()), "buffers": float64(bufs),
+						}, nil
+					},
+				},
+				CellJob{
+					Job:      Job{Family: m.name, PEs: p, Variant: VariantTable2NSTR},
+					Key:      results.CellKey{Graph: m.gid, PEs: p, Variant: VariantTable2NSTR},
+					graphKey: m.gid,
+					build:    m.build,
+					eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
+						nstr, err := baseline.Schedule(tg, p, baseline.Options{Insertion: true})
+						if err != nil {
+							return nil, err
+						}
+						return map[string]float64{"speedup": nstr.Speedup(tg), "makespan": nstr.Makespan}, nil
+					},
+				},
+			)
+		}
+	}
+	return jobs
+}
+
+// ablationTopologies is the ablation's family list: the paper's four plus
+// the reconvergent diamond that triggers the Figure 9 failure mode.
+func ablationTopologies() []Topology {
+	return append(Topologies(), diamondTopology())
+}
+
+// ablationPE picks the PE count the ablation schedules each family at: the
+// middle of its sweep.
+func ablationPE(topo Topology) int { return topo.PEs[len(topo.PEs)/2] }
+
+// ablationKey addresses one graph's buffer-sizing ablation cell.
+func ablationKey(topo Topology, opt Options, g int) results.CellKey {
+	return results.CellKey{Graph: graphID(topo.Name, opt, g), PEs: ablationPE(topo), Variant: VariantAblationUnit}
+}
+
+// ablationJobs compiles one job per graph: schedule with SB-LTS, simulate
+// once with Equation 5 FIFO sizes and once with unit FIFOs, and report
+// both makespans plus whether unit FIFOs deadlocked.
+func ablationJobs(opt Options) []CellJob {
+	var jobs []CellJob
+	for _, topo := range ablationTopologies() {
+		p := ablationPE(topo)
+		for g := 0; g < opt.Graphs; g++ {
+			jobs = append(jobs, CellJob{
+				Job:      Job{Family: topo.Name, Graph: g, PEs: p, Variant: VariantAblationUnit},
+				Key:      ablationKey(topo, opt, g),
+				graphKey: graphID(topo.Name, opt, g),
+				build:    graphBuilder(topo, opt, g),
+				eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
+					part, err := schedule.PartitionLTS(tg, p)
+					if err != nil {
+						return nil, err
+					}
+					res, err := ws.sched.Schedule(tg, part, p)
+					if err != nil {
+						return nil, err
+					}
+					sized, err := ws.sim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+					if err != nil {
+						return nil, err
+					}
+					if sized.Deadlocked {
+						// Figure 13 guarantees the Equation 5 sizes cannot deadlock.
+						return nil, fmt.Errorf("sized simulation deadlocked")
+					}
+					sizedMakespan := sized.Makespan // copy before the scratch is reused
+					unit, err := ws.sim.Simulate(tg, res, desim.Config{DefaultCap: 1})
+					if err != nil {
+						return nil, err
+					}
+					vals := map[string]float64{"sized": sizedMakespan, "unit": unit.Makespan, "deadlock": 0}
+					if unit.Deadlocked {
+						vals["deadlock"] = 1
+					}
+					return vals, nil
+				},
+			})
+		}
+	}
+	return jobs
+}

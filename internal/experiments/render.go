@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// Render prints the tables of every experiment in the plan, in spec order,
+// from a cell set — whether the cells were computed in-process, merged
+// from shard artifacts, or replayed from the results cache, the bytes are
+// identical. Cells missing from the set (failed jobs, or a partial shard
+// rendered directly) are left out of the aggregates, exactly as the
+// sequential reference would have dropped them.
+func Render(w io.Writer, p *Plan, set *results.Set) {
+	for _, s := range p.Specs {
+		switch s.Name {
+		case "fig10":
+			renderFig10(w, set, s.Opt)
+		case "fig11":
+			renderFig11(w, set, s.Opt)
+		case "fig12":
+			renderFig12(w, set, s.Opt)
+		case "fig13":
+			renderFig13(w, set, s.Opt)
+		case "table2":
+			renderTable2(w, p, set, s.Full)
+		case "ablation":
+			renderAblation(w, set, s.Opt)
+		}
+	}
+}
+
+// runSpecs is the shared implementation of the one-call experiment
+// functions (Fig10, Table2, ...): compile the specs, run them on the
+// engine, report failures, render.
+func runSpecs(w io.Writer, specs []Spec) {
+	p, err := Compile(specs)
+	if err != nil {
+		panic(err) // the callers pass fixed, known names
+	}
+	opt := specs[0].Opt
+	set, rep := Runner{
+		Workers:    opt.Workers,
+		ShardIndex: opt.ShardIndex,
+		ShardCount: opt.ShardCount,
+	}.RunPlan(p)
+	ReportFailures(os.Stderr, rep)
+	Render(w, p, set)
+}
+
+// maxReportedFailures bounds the per-run failure lines ReportFailures
+// prints.
+const maxReportedFailures = 10
+
+// ReportFailures prints the report's failed jobs (if any), whose cells are
+// missing from the rendered tables.
+func ReportFailures(w io.Writer, rep Report) {
+	fails := make([]results.Failure, 0, len(rep.Failures))
+	for _, f := range rep.Failures {
+		fails = append(fails, results.Failure{Label: f.Job.String(), Err: f.Err.Error()})
+	}
+	printFailures(w, fmt.Sprintf("experiments: %d/%d jobs failed, their cells are missing from the tables",
+		len(fails), rep.Jobs), fails)
+}
+
+// ReportArtifactFailures prints the job failures recorded in merged shard
+// artifacts, capped like ReportFailures.
+func ReportArtifactFailures(w io.Writer, fails []results.Failure) {
+	printFailures(w, fmt.Sprintf("experiments: %d jobs failed in the merged shards, their cells are missing from the tables",
+		len(fails)), fails)
+}
+
+// printFailures renders a capped failure list under a headline.
+func printFailures(w io.Writer, headline string, fails []results.Failure) {
+	if len(fails) == 0 {
+		return
+	}
+	fmt.Fprintln(w, headline)
+	for i, f := range fails {
+		if i == maxReportedFailures {
+			fmt.Fprintf(w, "  ... and %d more\n", len(fails)-i)
+			break
+		}
+		fmt.Fprintf(w, "  %s: %s\n", f.Label, f.Err)
+	}
+}
+
+func renderFig10(w io.Writer, set *results.Set, opt Options) {
+	fmt.Fprintf(w, "== Figure 10: speedup over sequential execution (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		points := sweepPointsFromSet(set, topo, opt, false)
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s %8s  %s\n",
+			"PEs", "scheduler", "Q1", "median", "Q3", "mean", "PE util (mean)")
+		for _, pt := range points {
+			rows := []struct {
+				name string
+				sp   []float64
+				util []float64
+			}{
+				{"STR-SCH-1", pt.SpeedupLTS, pt.UtilLTS},
+				{"STR-SCH-2", pt.SpeedupRLX, pt.UtilRLX},
+				{"NSTR-SCH", pt.SpeedupNSTR, pt.UtilNSTR},
+			}
+			for _, r := range rows {
+				s := stats.Summarize(r.sp)
+				u := stats.Summarize(r.util)
+				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f %8.2f  %.0f%%\n",
+					pt.PEs, r.name, s.Q1, s.Median, s.Q3, s.Mean, 100*u.Mean)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func renderFig11(w io.Writer, set *results.Set, opt Options) {
+	fmt.Fprintf(w, "== Figure 11: streaming SLR (makespan / streaming depth, %d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		points := sweepPointsFromSet(set, topo, opt, false)
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s\n", "PEs", "scheduler", "Q1", "median", "Q3")
+		for _, pt := range points {
+			for _, r := range []struct {
+				name string
+				xs   []float64
+			}{{"STR-SCH-1", pt.SSLRLTS}, {"STR-SCH-2", pt.SSLRRLX}} {
+				s := stats.Summarize(r.xs)
+				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f\n", pt.PEs, r.name, s.Q1, s.Median, s.Q3)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func renderFig12(w io.Writer, set *results.Set, opt Options) {
+	fmt.Fprintf(w, "== Figure 12: canonical task graphs vs CSDF (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		var schedTimes, csdfTimes, ratios []float64
+		for g := 0; g < opt.Graphs; g++ {
+			str, strOK := set.Get(fig12Key(topo, opt, g, VariantFig12Str))
+			cs, csOK := set.Get(fig12Key(topo, opt, g, VariantFig12CSDF))
+			if strOK {
+				schedTimes = append(schedTimes, str.Values["seconds"])
+			}
+			if csOK {
+				csdfTimes = append(csdfTimes, cs.Values["seconds"])
+			}
+			if strOK && csOK {
+				ratios = append(ratios, str.Values["makespan"]/cs.Values["makespan"])
+			}
+		}
+		st, ct, rt := stats.Summarize(schedTimes), stats.Summarize(csdfTimes), stats.Summarize(ratios)
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "  scheduling time  STR-SCHD median %.3gs   CSDF median %.3gs   (x%.0f)\n",
+			st.Median, ct.Median, ct.Median/st.Median)
+		fmt.Fprintf(w, "  makespan ratio   median %.4f  q1 %.4f  q3 %.4f  max %.4f\n\n",
+			rt.Median, rt.Q1, rt.Q3, rt.Max)
+	}
+}
+
+func renderFig13(w io.Writer, set *results.Set, opt Options) {
+	fmt.Fprintf(w, "== Figure 13: discrete-event validation, relative error %% (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		points := sweepPointsFromSet(set, topo, opt, true)
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "%6s  %-10s %8s %8s %8s %8s %8s  %s\n",
+			"PEs", "scheduler", "min", "Q1", "median", "Q3", "max", "deadlocks")
+		for _, pt := range points {
+			for _, r := range []struct {
+				name string
+				xs   []float64
+			}{{"STR-SCH-1", pt.ErrLTS}, {"STR-SCH-2", pt.ErrRLX}} {
+				s := stats.Summarize(r.xs)
+				fmt.Fprintf(w, "%6d  %-10s %8.2f %8.2f %8.2f %8.2f %8.2f  %d\n",
+					pt.PEs, r.name, s.Min, s.Q1, s.Median, s.Q3, s.Max, pt.Deadlocks)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func renderTable2(w io.Writer, p *Plan, set *results.Set, full bool) {
+	fmt.Fprintf(w, "== Table 2: ML inference workloads (full=%v) ==\n\n", full)
+	for _, m := range table2Models(full) {
+		// The streaming cells carry the graph shape, so rendering merged
+		// shards does not rebuild the model; only a set with no streaming
+		// row at all (every str job failed) falls back to building it.
+		nodes, bufs, haveShape := 0, 0, false
+		for _, pe := range m.pes {
+			if c, ok := set.Get(results.CellKey{Graph: m.gid, PEs: pe, Variant: VariantTable2Str}); ok {
+				nodes, bufs, haveShape = int(c.Values["nodes"]), int(c.Values["buffers"]), true
+				break
+			}
+		}
+		if !haveShape {
+			tg, _ := p.graphs.Get(m.gid, m.build)
+			nodes = tg.Len()
+			for _, n := range tg.Nodes {
+				if n.Kind == core.Buffer {
+					bufs++
+				}
+			}
+		}
+		fmt.Fprintf(w, "%s: %d nodes (%d buffer nodes)\n", m.name, nodes, bufs)
+		fmt.Fprintf(w, "%6s  %12s %13s %6s\n", "#PEs", "STR speedup", "NSTR speedup", "G")
+		for _, pe := range m.pes {
+			str, strOK := set.Get(results.CellKey{Graph: m.gid, PEs: pe, Variant: VariantTable2Str})
+			nstr, nstrOK := set.Get(results.CellKey{Graph: m.gid, PEs: pe, Variant: VariantTable2NSTR})
+			if !strOK || !nstrOK {
+				continue
+			}
+			fmt.Fprintf(w, "%6d  %12.1f %13.1f %6.1f\n", pe,
+				str.Values["speedup"], nstr.Values["speedup"],
+				nstr.Values["makespan"]/str.Values["makespan"])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func renderAblation(w io.Writer, set *results.Set, opt Options) {
+	fmt.Fprintf(w, "== Ablation: Equation 5 buffer sizing vs unit FIFOs (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range ablationTopologies() {
+		p := ablationPE(topo)
+		var slowdowns []float64
+		deadlocks, runs := 0, 0
+		for g := 0; g < opt.Graphs; g++ {
+			cell, ok := set.Get(ablationKey(topo, opt, g))
+			if !ok {
+				continue
+			}
+			runs++
+			if cell.Values["deadlock"] == 1 {
+				deadlocks++
+				continue
+			}
+			slowdowns = append(slowdowns, cell.Values["unit"]/cell.Values["sized"])
+		}
+		fmt.Fprintf(w, "%s (#Tasks = %d, P = %d)\n", topo.Name, topo.Tasks, p)
+		fmt.Fprintf(w, "  unit FIFOs deadlock %d/%d graphs\n", deadlocks, runs)
+		if len(slowdowns) > 0 {
+			s := stats.Summarize(slowdowns)
+			fmt.Fprintf(w, "  survivors run %.2fx slower (median; max %.2fx)\n", s.Median, s.Max)
+		}
+		fmt.Fprintln(w)
+	}
+}

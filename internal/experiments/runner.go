@@ -2,66 +2,56 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/baseline"
-	"repro/internal/buffers"
 	"repro/internal/core"
 	"repro/internal/desim"
+	"repro/internal/results"
 	"repro/internal/schedule"
 )
 
-// SchedulerKind names the scheduler variant one sweep job runs.
-type SchedulerKind int
-
-const (
-	// JobLTS is the streaming SB-LTS heuristic (STR-SCH-1).
-	JobLTS SchedulerKind = iota
-	// JobRLX is the streaming SB-RLX heuristic (STR-SCH-2).
-	JobRLX
-	// JobNSTR is the non-streaming CP/MISF insertion baseline (NSTR-SCH).
-	JobNSTR
-	numKinds
-)
-
-func (k SchedulerKind) String() string {
-	switch k {
-	case JobLTS:
-		return "SB-LTS"
-	case JobRLX:
-		return "SB-RLX"
-	case JobNSTR:
-		return "NSTR"
-	}
-	return fmt.Sprintf("SchedulerKind(%d)", int(k))
-}
-
-// Job identifies one (graph, scheduler variant, P) cell of a sweep.
+// Job is the human-readable identity of one cell job, used in reports and
+// failure records.
 type Job struct {
-	Topology string
-	Graph    int // graph index within the sweep; seeds the generator
-	PEs      int
-	Kind     SchedulerKind
+	// Family is the synthetic topology or model name.
+	Family string
+	// Graph is the instance index within the family (0 for the static
+	// model graphs).
+	Graph int
+	// PEs is the evaluated PE count (0 for the Figure 12 jobs, which use
+	// as many PEs as the graph has compute nodes).
+	PEs int
+	// Variant is the evaluation procedure (VariantLTS, VariantFig12Str, ...).
+	Variant string
+	// Simulate marks sweep jobs that also ran the discrete-event validation.
+	Simulate bool
 }
 
 func (j Job) String() string {
-	return fmt.Sprintf("%s/g%d/P%d/%s", j.Topology, j.Graph, j.PEs, j.Kind)
+	s := fmt.Sprintf("%s/g%d/P%d/%s", j.Family, j.Graph, j.PEs, j.Variant)
+	if j.Simulate {
+		s += "+sim"
+	}
+	return s
 }
 
-// JobTiming reports how long one job took on its worker.
+// JobTiming reports how long one job took on its worker, and whether its
+// cell was served by the persistent results cache instead of being
+// recomputed.
 type JobTiming struct {
 	Job      Job
 	Duration time.Duration
+	Cached   bool
 }
 
 // JobFailure pairs a failed job with its error. Failures are collected per
-// job instead of aborting the sweep, so one pathological graph cannot sink a
-// multi-hour run.
+// job instead of aborting the run, so one pathological graph cannot sink a
+// multi-hour sweep.
 type JobFailure struct {
 	Job Job
 	Err error
@@ -70,33 +60,48 @@ type JobFailure struct {
 func (f JobFailure) Error() string { return fmt.Sprintf("%s: %v", f.Job, f.Err) }
 
 // Report summarizes one engine run: job counts, per-job timings in job
-// enumeration order, and every failure.
+// enumeration order, cache hits, and every failure.
 type Report struct {
 	Jobs      int           // jobs eligible for this shard
-	Completed int           // jobs that produced a sample
+	Completed int           // jobs that produced a cell
 	Skipped   int           // jobs excluded by the shard filter
-	Elapsed   time.Duration // wall-clock time of the whole sweep
+	CacheHits int           // completed jobs served by the results cache
+	Elapsed   time.Duration // wall-clock time of the whole run
 	Work      time.Duration // sum of per-job durations (CPU-side work)
 	Timings   []JobTiming
 	Failures  []JobFailure
 }
 
-// Runner is the concurrent sweep engine: it shards (graph x scheduler x P)
-// jobs across a pool of worker goroutines, streams results over a channel
-// into a deterministic, order-stable aggregation, and memoizes graph
-// construction behind a thread-safe cache. The aggregate it produces is
-// byte-identical to the sequential sweep regardless of worker count.
+// Runner is the concurrent experiment engine: it shards cell jobs across a
+// pool of worker goroutines, streams results over a channel into a
+// deterministic, order-stable collection, and memoizes graph construction
+// behind a thread-safe cache. Every experiment of the paper — the
+// Fig10/11/13 sweeps, the Fig12 CSDF comparison, the Table 2 model rows,
+// and the buffer ablation — compiles to jobs on this engine (Compile), and
+// the aggregate it produces is byte-identical to the sequential reference
+// regardless of worker count.
 type Runner struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
 	Workers int
 	// ShardIndex/ShardCount select a subset of jobs (job i runs when
-	// i % ShardCount == ShardIndex), so a sweep can be split across
-	// processes or machines. ShardCount <= 1 disables sharding.
+	// i % ShardCount == ShardIndex), so a run can be split across
+	// processes or machines and recombined with results.Merge.
 	ShardIndex, ShardCount int
-	// Cache memoizes graph construction. Nil means a fresh cache per sweep;
-	// sharing one across sweeps of the same topology avoids rebuilding.
+	// Cache memoizes graph construction for Sweep. Nil means a fresh cache
+	// per sweep; RunPlan always uses the plan's own cache, which is shared
+	// with table rendering.
 	Cache *GraphCache
+	// Results, when set, is the persistent cell cache: a job whose
+	// (graph fingerprint, PEs, variant, simulate) content key is already
+	// stored returns the stored values instead of recomputing, and newly
+	// computed cells are stored for future runs. Hits are visible as
+	// Cached timings in the Report.
+	Results *results.Cache
 
+	// measureFn, when set, replaces the wall-clock measurement of timed
+	// experiment sections (Figure 12); tests inject a fixed-duration clock
+	// to make timing columns deterministic.
+	measureFn func(func()) time.Duration
 	// failHook, when set, injects an error for matching jobs; used by tests
 	// to exercise failure collection.
 	failHook func(Job) error
@@ -116,11 +121,22 @@ func (r Runner) inShard(i int) bool {
 	return i%r.ShardCount == r.ShardIndex%r.ShardCount
 }
 
+func (r Runner) measure() func(func()) time.Duration {
+	if r.measureFn != nil {
+		return r.measureFn
+	}
+	return func(f func()) time.Duration {
+		t0 := time.Now()
+		f()
+		return time.Since(t0)
+	}
+}
+
 // GraphCache memoizes graph constructions so that concurrent jobs touching
-// the same graph share a single frozen TaskGraph (and its streaming depth)
-// instead of rebuilding it per job. Frozen graphs are immutable, so sharing
-// across goroutines is safe. Concurrent Gets for the same key block until
-// the single build completes.
+// the same graph share a single frozen TaskGraph (with its streaming depth
+// and content fingerprint) instead of rebuilding it per job. Frozen graphs
+// are immutable, so sharing across goroutines is safe. Concurrent Gets for
+// the same key block until the single build completes.
 type GraphCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -128,9 +144,11 @@ type GraphCache struct {
 }
 
 type cacheEntry struct {
-	once  sync.Once
-	tg    *core.TaskGraph
-	depth float64 // schedule.StreamingDepth, shared by every SSLR sample
+	once   sync.Once
+	tg     *core.TaskGraph
+	depth  float64 // schedule.StreamingDepth, shared by every SSLR sample
+	fpOnce sync.Once
+	fp     string // results.Fingerprint, computed only when a results cache needs it
 }
 
 // NewGraphCache returns an empty thread-safe cache.
@@ -138,9 +156,7 @@ func NewGraphCache() *GraphCache {
 	return &GraphCache{entries: make(map[string]*cacheEntry)}
 }
 
-// Get returns the graph and streaming depth for key, building and memoizing
-// them on first use.
-func (c *GraphCache) Get(key string, build func() *core.TaskGraph) (*core.TaskGraph, float64) {
+func (c *GraphCache) entry(key string, build func() *core.TaskGraph) *cacheEntry {
 	c.mu.Lock()
 	e := c.entries[key]
 	if e == nil {
@@ -155,7 +171,22 @@ func (c *GraphCache) Get(key string, build func() *core.TaskGraph) (*core.TaskGr
 		c.builds++
 		c.mu.Unlock()
 	})
+	return e
+}
+
+// Get returns the graph and streaming depth for key, building and memoizing
+// them on first use.
+func (c *GraphCache) Get(key string, build func() *core.TaskGraph) (*core.TaskGraph, float64) {
+	e := c.entry(key, build)
 	return e.tg, e.depth
+}
+
+// Fingerprint returns the content fingerprint of the graph under key,
+// computing and memoizing it (and the graph itself) on first use.
+func (c *GraphCache) Fingerprint(key string, build func() *core.TaskGraph) string {
+	e := c.entry(key, build)
+	e.fpOnce.Do(func() { e.fp = results.Fingerprint(e.tg) })
+	return e.fp
 }
 
 // Builds reports how many keys were actually constructed (cache misses).
@@ -165,66 +196,31 @@ func (c *GraphCache) Builds() int {
 	return c.builds
 }
 
-// sweepJob is a Job plus the index of its PE count in the topology's sweep.
-type sweepJob struct {
-	Job
-	peIdx int
-}
-
-// sweepSample is the outcome of one completed job, mirroring exactly what
-// the sequential loop appends per (graph, PE, scheduler) cell.
-type sweepSample struct {
-	ok       bool
-	speedup  float64
-	sslr     float64
-	util     float64
-	simErr   float64
-	deadlock bool
-}
-
-// sweepJobs enumerates the sweep in the sequential loop's order: graphs
-// outermost, then PE counts, then LTS/RLX/NSTR. Aggregating completed
-// samples in this order reproduces the sequential append order bit for bit.
-func sweepJobs(topo Topology, opt Options) []sweepJob {
-	jobs := make([]sweepJob, 0, opt.Graphs*len(topo.PEs)*int(numKinds))
-	for g := 0; g < opt.Graphs; g++ {
-		for i, p := range topo.PEs {
-			for k := SchedulerKind(0); k < numKinds; k++ {
-				jobs = append(jobs, sweepJob{
-					Job:   Job{Topology: topo.Name, Graph: g, PEs: p, Kind: k},
-					peIdx: i,
-				})
-			}
-		}
-	}
-	return jobs
-}
-
 // workerState is the per-worker scratch: a reusable scheduler and simulator
-// so the hot paths allocate no per-run state.
+// so the hot paths allocate no per-run state, plus the engine's timing
+// seam for the measured experiments.
 type workerState struct {
-	sched *schedule.Scheduler
-	sim   *desim.Scratch
+	sched   *schedule.Scheduler
+	sim     *desim.Scratch
+	measure func(func()) time.Duration
 }
 
-// Sweep evaluates one topology across its PE counts on the worker pool and
-// returns the aggregate plus a per-job report. With no failures and no
-// sharding, the points are identical to RunSweepSequential's.
-func (r Runner) Sweep(topo Topology, opt Options, simulate bool) ([]SweepPoint, Report) {
+// runJobs executes the shard-eligible jobs on the worker pool and returns
+// the produced cells aligned with the job list (nil for skipped or failed
+// jobs) plus the run report. This is the single engine path behind Sweep
+// and RunPlan.
+func (r Runner) runJobs(jobs []CellJob, graphs *GraphCache) ([]*results.Cell, Report) {
 	start := time.Now()
-	jobs := sweepJobs(topo, opt)
-	samples := make([]sweepSample, len(jobs))
-
-	cache := r.Cache
-	if cache == nil {
-		cache = NewGraphCache()
+	if graphs == nil {
+		graphs = NewGraphCache()
 	}
 
 	type outMsg struct {
-		idx int
-		s   sweepSample
-		dur time.Duration
-		err error
+		idx    int
+		cell   *results.Cell
+		cached bool
+		dur    time.Duration
+		err    error
 	}
 	idxCh := make(chan int)
 	outCh := make(chan outMsg, r.workers())
@@ -234,16 +230,15 @@ func (r Runner) Sweep(topo Topology, opt Options, simulate bool) ([]SweepPoint, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := &workerState{sched: schedule.NewScheduler(), sim: desim.NewScratch()}
+			ws := &workerState{sched: schedule.NewScheduler(), sim: desim.NewScratch(), measure: r.measure()}
 			for i := range idxCh {
 				t0 := time.Now()
-				s, err := r.runSweepJob(topo, opt, simulate, jobs[i], cache, ws)
-				outCh <- outMsg{idx: i, s: s, dur: time.Since(t0), err: err}
+				cell, cached, err := r.runCellJob(jobs[i], graphs, ws)
+				outCh <- outMsg{idx: i, cell: cell, cached: cached, dur: time.Since(t0), err: err}
 			}
 		}()
 	}
 
-	rep := Report{}
 	go func() {
 		for i := range jobs {
 			if r.inShard(i) {
@@ -256,77 +251,151 @@ func (r Runner) Sweep(topo Topology, opt Options, simulate bool) ([]SweepPoint, 
 	}()
 
 	// Results stream in completion order; store them by job index so the
-	// report and aggregation below are independent of scheduling
+	// report and the cells below are independent of scheduling
 	// interleavings.
+	cells := make([]*results.Cell, len(jobs))
 	durs := make([]time.Duration, len(jobs))
 	errs := make([]error, len(jobs))
+	cached := make([]bool, len(jobs))
 	ran := make([]bool, len(jobs))
 	for m := range outCh {
-		samples[m.idx] = m.s
-		durs[m.idx], errs[m.idx], ran[m.idx] = m.dur, m.err, true
+		cells[m.idx] = m.cell
+		durs[m.idx], errs[m.idx], cached[m.idx], ran[m.idx] = m.dur, m.err, m.cached, true
 	}
+
+	rep := Report{}
 	for i := range jobs {
 		if !ran[i] {
 			continue
 		}
 		rep.Jobs++
 		rep.Work += durs[i]
-		rep.Timings = append(rep.Timings, JobTiming{Job: jobs[i].Job, Duration: durs[i]})
+		rep.Timings = append(rep.Timings, JobTiming{Job: jobs[i].Job, Duration: durs[i], Cached: cached[i]})
 		if errs[i] != nil {
 			rep.Failures = append(rep.Failures, JobFailure{Job: jobs[i].Job, Err: errs[i]})
-		} else {
-			rep.Completed++
+			continue
+		}
+		rep.Completed++
+		if cached[i] {
+			rep.CacheHits++
 		}
 	}
 	rep.Skipped = len(jobs) - rep.Jobs
 	rep.Elapsed = time.Since(start)
-
-	return aggregateSweep(topo, jobs, samples, simulate), rep
+	return cells, rep
 }
 
-// aggregateSweep folds completed samples into SweepPoints in job enumeration
-// order, skipping jobs that failed or fell outside this shard.
-func aggregateSweep(topo Topology, jobs []sweepJob, samples []sweepSample, simulate bool) []SweepPoint {
+// runCellJob executes one job: fetch (or build) the graph, consult the
+// persistent results cache, and only on a miss run the evaluation and
+// store its values.
+func (r Runner) runCellJob(job CellJob, graphs *GraphCache, ws *workerState) (*results.Cell, bool, error) {
+	if r.failHook != nil {
+		if err := r.failHook(job.Job); err != nil {
+			return nil, false, err
+		}
+	}
+	tg, depth := graphs.Get(job.graphKey, job.build)
+
+	var contentKey results.CellKey
+	if r.Results != nil {
+		contentKey = job.Key
+		contentKey.Graph = graphs.Fingerprint(job.graphKey, job.build)
+		if hit, ok := r.Results.Get(contentKey); ok {
+			return &results.Cell{Key: job.Key, Label: job.Job.String(), Values: hit.Values}, true, nil
+		}
+	}
+
+	vals, err := job.eval(ws, tg, depth)
+	if err != nil {
+		return nil, false, err
+	}
+	if r.Results != nil {
+		stored := results.Cell{Key: contentKey, Label: job.Job.String(), Values: vals}
+		if err := r.Results.Put(stored); err != nil {
+			// A full disk must not sink the run; the cell is still returned.
+			fmt.Fprintf(os.Stderr, "experiments: results cache: %v\n", err)
+		}
+	}
+	return &results.Cell{Key: job.Key, Label: job.Job.String(), Values: vals}, false, nil
+}
+
+// RunPlan executes a compiled plan and collects the produced cells into a
+// set ready for rendering, artifact writing, or merging.
+func (r Runner) RunPlan(p *Plan) (*results.Set, Report) {
+	cells, rep := r.runJobs(p.Jobs, p.graphs)
+	return setFromCells(cells), rep
+}
+
+// setFromCells collects non-nil cells, preserving job order.
+func setFromCells(cells []*results.Cell) *results.Set {
+	set := results.NewSet()
+	for _, c := range cells {
+		if c == nil {
+			continue
+		}
+		if err := set.Add(*c); err != nil {
+			// Compile deduplicates keys, so a collision here is a bug in the
+			// job builders.
+			panic(err)
+		}
+	}
+	return set
+}
+
+// Sweep evaluates one topology across its PE counts on the worker pool and
+// returns the aggregate plus a per-job report. With no failures and no
+// sharding, the points are identical to RunSweepSequential's.
+func (r Runner) Sweep(topo Topology, opt Options, simulate bool) ([]SweepPoint, Report) {
+	jobs := sweepTopoJobs(topo, opt, simulate)
+	cells, rep := r.runJobs(jobs, r.Cache)
+	return sweepPointsFromSet(setFromCells(cells), topo, opt, simulate), rep
+}
+
+// sweepPointsFromSet folds one topology's sweep cells into SweepPoints in
+// the sequential loop's enumeration order (graphs outermost, then PEs,
+// then LTS/RLX/NSTR), skipping cells that failed or fell outside the
+// shard. The append order — and therefore the rendered table — matches
+// RunSweepSequential bit for bit.
+func sweepPointsFromSet(set *results.Set, topo Topology, opt Options, simulate bool) []SweepPoint {
 	points := make([]SweepPoint, len(topo.PEs))
 	for i, p := range topo.PEs {
 		points[i].PEs = p
 	}
-	for ji, job := range jobs {
-		s := samples[ji]
-		if !s.ok {
-			continue
-		}
-		pt := &points[job.peIdx]
-		switch job.Kind {
-		case JobLTS:
-			pt.SpeedupLTS = append(pt.SpeedupLTS, s.speedup)
-			pt.SSLRLTS = append(pt.SSLRLTS, s.sslr)
-			pt.UtilLTS = append(pt.UtilLTS, s.util)
-			if simulate {
-				pt.ErrLTS = append(pt.ErrLTS, s.simErr*100)
+	for g := 0; g < opt.Graphs; g++ {
+		for i, p := range topo.PEs {
+			pt := &points[i]
+			for _, variant := range []string{VariantLTS, VariantRLX, VariantNSTR} {
+				cell, ok := set.Get(sweepKey(topo, opt, g, p, variant, simulate))
+				if !ok {
+					continue
+				}
+				v := cell.Values
+				switch variant {
+				case VariantLTS:
+					pt.SpeedupLTS = append(pt.SpeedupLTS, v["speedup"])
+					pt.SSLRLTS = append(pt.SSLRLTS, v["sslr"])
+					pt.UtilLTS = append(pt.UtilLTS, v["util"])
+					if simulate {
+						pt.ErrLTS = append(pt.ErrLTS, v["simerr"]*100)
+					}
+				case VariantRLX:
+					pt.SpeedupRLX = append(pt.SpeedupRLX, v["speedup"])
+					pt.SSLRRLX = append(pt.SSLRRLX, v["sslr"])
+					pt.UtilRLX = append(pt.UtilRLX, v["util"])
+					if simulate {
+						pt.ErrRLX = append(pt.ErrRLX, v["simerr"]*100)
+					}
+				case VariantNSTR:
+					pt.SpeedupNSTR = append(pt.SpeedupNSTR, v["speedup"])
+					pt.UtilNSTR = append(pt.UtilNSTR, v["util"])
+				}
+				if v["deadlock"] == 1 {
+					pt.Deadlocks++
+				}
 			}
-		case JobRLX:
-			pt.SpeedupRLX = append(pt.SpeedupRLX, s.speedup)
-			pt.SSLRRLX = append(pt.SSLRRLX, s.sslr)
-			pt.UtilRLX = append(pt.UtilRLX, s.util)
-			if simulate {
-				pt.ErrRLX = append(pt.ErrRLX, s.simErr*100)
-			}
-		case JobNSTR:
-			pt.SpeedupNSTR = append(pt.SpeedupNSTR, s.speedup)
-			pt.UtilNSTR = append(pt.UtilNSTR, s.util)
-		}
-		if s.deadlock {
-			pt.Deadlocks++
 		}
 	}
 	return points
-}
-
-func graphKey(topo Topology, opt Options, g int) string {
-	// The synth config changes the built graph, so it must distinguish cache
-	// entries when one GraphCache is shared across differently-sized sweeps.
-	return fmt.Sprintf("%s/%d/%d/%+v", topo.Name, opt.Seed, g, opt.Config)
 }
 
 // ParseShard parses the "i/n" syntax of the -shard flags strictly: both
@@ -352,63 +421,6 @@ func ParseShard(s string) (index, count int, err error) {
 		return 0, 0, fmt.Errorf("bad shard %q: need 0 <= i < n", s)
 	}
 	return index, count, nil
-}
-
-// runSweepJob executes one job: fetch (or build) the graph, run the selected
-// scheduler, and optionally validate with the discrete-event simulator. The
-// arithmetic matches the sequential loop exactly, so samples are bitwise
-// reproducible.
-func (r Runner) runSweepJob(topo Topology, opt Options, simulate bool, job sweepJob,
-	cache *GraphCache, ws *workerState) (sweepSample, error) {
-
-	if r.failHook != nil {
-		if err := r.failHook(job.Job); err != nil {
-			return sweepSample{}, err
-		}
-	}
-	tg, depth := cache.Get(graphKey(topo, opt, job.Graph), func() *core.TaskGraph {
-		rng := rand.New(rand.NewSource(opt.Seed + int64(job.Graph)))
-		return topo.Build(rng, opt.Config)
-	})
-
-	if job.Kind == JobNSTR {
-		nstr, err := baseline.Schedule(tg, job.PEs, baseline.Options{Insertion: true})
-		if err != nil {
-			return sweepSample{}, err
-		}
-		return sweepSample{ok: true, speedup: nstr.Speedup(tg), util: nstr.Utilization(tg)}, nil
-	}
-
-	variant := schedule.SBLTS
-	if job.Kind == JobRLX {
-		variant = schedule.SBRLX
-	}
-	part, err := schedule.Algorithm1(tg, job.PEs, schedule.Options{Variant: variant})
-	if err != nil {
-		return sweepSample{}, err
-	}
-	res, err := ws.sched.Schedule(tg, part, job.PEs)
-	if err != nil {
-		return sweepSample{}, err
-	}
-	s := sweepSample{
-		ok:      true,
-		speedup: res.Speedup(tg),
-		sslr:    res.Makespan / depth,
-		util:    res.Utilization(tg, job.PEs),
-	}
-	if simulate {
-		st, err := ws.sim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
-		if err != nil {
-			return sweepSample{}, err
-		}
-		if st.Deadlocked {
-			s.deadlock = true
-		} else {
-			s.simErr = st.RelativeError(res.Makespan)
-		}
-	}
-	return s, nil
 }
 
 // RunIndexed runs fn(0) .. fn(n-1) on a pool of workers and returns the

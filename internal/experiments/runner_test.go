@@ -36,7 +36,7 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 				t.Errorf("%s workers=%d: parallel sweep diverges from sequential",
 					tc.topo.Name, workers)
 			}
-			wantJobs := opt.Graphs * len(tc.topo.PEs) * int(numKinds)
+			wantJobs := opt.Graphs * len(tc.topo.PEs) * numSweepVariants
 			if rep.Jobs != wantJobs || rep.Completed != wantJobs || len(rep.Failures) != 0 {
 				t.Errorf("%s workers=%d: report %d/%d jobs, %d failures; want %d/%d, 0",
 					tc.topo.Name, workers, rep.Completed, rep.Jobs, len(rep.Failures), wantJobs, wantJobs)
@@ -79,7 +79,7 @@ func TestSweepTimingsOrdered(t *testing.T) {
 	topo := Topologies()[0]
 	opt := sweepOpt(4)
 	_, rep := Runner{Workers: 4}.Sweep(topo, opt, false)
-	want := sweepJobs(topo, opt)
+	want := sweepTopoJobs(topo, opt, false)
 	if len(rep.Timings) != len(want) {
 		t.Fatalf("%d timings, want %d", len(rep.Timings), len(want))
 	}
@@ -100,7 +100,7 @@ func TestSeededFailureCollection(t *testing.T) {
 	r := Runner{
 		Workers: 4,
 		failHook: func(j Job) error {
-			if j.Graph == 2 && j.Kind == JobRLX {
+			if j.Graph == 2 && j.Variant == VariantRLX {
 				return injected
 			}
 			return nil
@@ -113,7 +113,7 @@ func TestSeededFailureCollection(t *testing.T) {
 		t.Fatalf("%d failures, want %d", len(rep.Failures), wantFailures)
 	}
 	for _, f := range rep.Failures {
-		if !errors.Is(f.Err, injected) || f.Job.Graph != 2 || f.Job.Kind != JobRLX {
+		if !errors.Is(f.Err, injected) || f.Job.Graph != 2 || f.Job.Variant != VariantRLX {
 			t.Errorf("unexpected failure record %v", f)
 		}
 	}
@@ -142,14 +142,14 @@ func TestShardedSweepPartitionsJobs(t *testing.T) {
 	for idx := 0; idx < shards; idx++ {
 		points, rep := Runner{Workers: 2, ShardIndex: idx, ShardCount: shards}.Sweep(topo, opt, false)
 		totalJobs += rep.Jobs
-		if rep.Jobs+rep.Skipped != opt.Graphs*len(topo.PEs)*int(numKinds) {
+		if rep.Jobs+rep.Skipped != opt.Graphs*len(topo.PEs)*numSweepVariants {
 			t.Errorf("shard %d: jobs %d + skipped %d != total", idx, rep.Jobs, rep.Skipped)
 		}
 		for _, pt := range points {
 			totalLTS += len(pt.SpeedupLTS)
 		}
 	}
-	if want := opt.Graphs * len(topo.PEs) * int(numKinds); totalJobs != want {
+	if want := opt.Graphs * len(topo.PEs) * numSweepVariants; totalJobs != want {
 		t.Errorf("shards ran %d jobs total, want %d", totalJobs, want)
 	}
 	wantLTS := 0

@@ -1,0 +1,165 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func testMeta(shardIndex, shardCount int) Meta {
+	cfg := synth.SmallConfig()
+	return Meta{
+		Experiments: []ExpMeta{{Name: "fig10", Graphs: 2, Seed: 1, Config: &cfg}},
+		ShardIndex:  shardIndex,
+		ShardCount:  shardCount,
+	}
+}
+
+func testArtifact(shardIndex, shardCount int, cells ...Cell) *Artifact {
+	return &Artifact{Meta: testMeta(shardIndex, shardCount), Cells: cells}
+}
+
+func cell(graph string, pes int) Cell {
+	return Cell{
+		Key:    CellKey{Graph: graph, PEs: pes, Variant: "SB-LTS"},
+		Values: map[string]float64{"speedup": 1.5},
+	}
+}
+
+// TestArtifactRoundTrip: write, read back, and keep every cell value
+// bit-exact.
+func TestArtifactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.json")
+	a := testArtifact(0, 2, cell("g0", 2), cell("g1", 4))
+	a.Failures = []Failure{{Label: "g2/P8", Err: "boom"}}
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Errorf("schema %d, want %d", got.Schema, SchemaVersion)
+	}
+	if len(got.Cells) != 2 || got.Cells[0].Values["speedup"] != 1.5 {
+		t.Errorf("cells did not round-trip: %+v", got.Cells)
+	}
+	if len(got.Failures) != 1 || got.Failures[0].Err != "boom" {
+		t.Errorf("failures did not round-trip: %+v", got.Failures)
+	}
+	if got.Meta.Experiments[0].Config.MaxVolume != synth.SmallConfig().MaxVolume {
+		t.Errorf("config did not round-trip: %+v", got.Meta.Experiments[0].Config)
+	}
+}
+
+// TestReadArtifactRejects: corruption, version skew, and malformed shard
+// metadata are errors, not silently empty merges.
+func TestReadArtifactRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := ReadArtifactFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := ReadArtifactFile(write("corrupt.json", `{"schema": 1, "cells": [`)); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	if _, err := ReadArtifactFile(write("vers.json", `{"schema": 99, "meta": {"experiments": [{"name": "fig10"}], "shard_index": 0, "shard_count": 1}}`)); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("foreign schema accepted: %v", err)
+	}
+	if _, err := ReadArtifactFile(write("shard.json", `{"schema": 1, "meta": {"experiments": [{"name": "fig10"}], "shard_index": 3, "shard_count": 2}}`)); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := ReadArtifactFile(write("noexp.json", `{"schema": 1, "meta": {"experiments": [], "shard_index": 0, "shard_count": 1}}`)); err == nil {
+		t.Error("experiment-less artifact accepted")
+	}
+}
+
+// TestMergeCombinesDisjointShards: a 2-shard merge holds every cell once
+// and normalizes the metadata to an unsharded run.
+func TestMergeCombinesDisjointShards(t *testing.T) {
+	// Shard order on the command line must not matter.
+	set, meta, err := Merge([]*Artifact{
+		testArtifact(1, 2, cell("g1", 4)),
+		testArtifact(0, 2, cell("g0", 2), cell("g2", 8)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("merged %d cells, want 3", set.Len())
+	}
+	for _, g := range []string{"g0", "g1", "g2"} {
+		found := false
+		for _, c := range set.Cells() {
+			if c.Key.Graph == g {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cell %s missing after merge", g)
+		}
+	}
+	if meta.ShardIndex != 0 || meta.ShardCount != 1 {
+		t.Errorf("merged meta is still sharded: %d/%d", meta.ShardIndex, meta.ShardCount)
+	}
+}
+
+// TestMergeRejections: overlapping cells, missing or duplicated shards,
+// wrong artifact counts, and mismatched run configurations all fail.
+func TestMergeRejections(t *testing.T) {
+	t.Run("overlapping cells", func(t *testing.T) {
+		_, _, err := Merge([]*Artifact{
+			testArtifact(0, 2, cell("g0", 2)),
+			testArtifact(1, 2, cell("g0", 2)),
+		})
+		if err == nil || !strings.Contains(err.Error(), "overlapping") {
+			t.Errorf("overlap accepted: %v", err)
+		}
+	})
+	t.Run("missing shard", func(t *testing.T) {
+		if _, _, err := Merge([]*Artifact{testArtifact(0, 2, cell("g0", 2))}); err == nil {
+			t.Error("1 of 2 shards accepted")
+		}
+	})
+	t.Run("duplicated shard index", func(t *testing.T) {
+		_, _, err := Merge([]*Artifact{
+			testArtifact(0, 2, cell("g0", 2)),
+			testArtifact(0, 2, cell("g1", 2)),
+		})
+		if err == nil {
+			t.Error("duplicate shard index accepted")
+		}
+	})
+	t.Run("mismatched run config", func(t *testing.T) {
+		b := testArtifact(1, 2, cell("g1", 2))
+		b.Meta.Experiments[0].Graphs = 99
+		_, _, err := Merge([]*Artifact{testArtifact(0, 2, cell("g0", 2)), b})
+		if err == nil || !strings.Contains(err.Error(), "different run configuration") {
+			t.Errorf("mismatched metadata accepted: %v", err)
+		}
+	})
+	t.Run("mismatched shard count", func(t *testing.T) {
+		_, _, err := Merge([]*Artifact{
+			testArtifact(0, 2, cell("g0", 2)),
+			testArtifact(1, 3, cell("g1", 2)),
+		})
+		if err == nil {
+			t.Error("mixed shard counts accepted")
+		}
+	})
+	t.Run("nothing", func(t *testing.T) {
+		if _, _, err := Merge(nil); err == nil {
+			t.Error("empty merge accepted")
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the persistent, content-addressed results cache. Each entry is
+// one cell stored under the SHA-256 of its content key — whose Graph field
+// is the Fingerprint of the scheduled task graph — so any run that
+// evaluates the same (graph contents, PE count, variant, simulate)
+// combination reuses the stored values instead of recomputing them, no
+// matter which experiment, seed, or process produced them first.
+//
+// Entries are written atomically (temp file + rename), so concurrent shard
+// processes can safely share one cache directory. A corrupt or
+// foreign-version entry is treated as a miss, never an error.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir. Entries live
+// under a schema-versioned subdirectory, so a future schema bump cannot
+// misread old entries.
+func OpenCache(dir string) (*Cache, error) {
+	root := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("results: opening cache: %w", err)
+	}
+	return &Cache{dir: root}, nil
+}
+
+// Dir returns the versioned directory entries are stored in.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a content key to its entry file, fanned out over 256
+// subdirectories to keep listings manageable for large sweeps.
+func (c *Cache) path(k CellKey) string {
+	sum := sha256.Sum256([]byte(k.String()))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, name[:2], name[2:]+".json")
+}
+
+// Get returns the cell stored under the content key k. Unreadable or
+// mismatched entries (corruption, truncation, a hash collision) report a
+// miss so the caller recomputes and overwrites.
+func (c *Cache) Get(k CellKey) (Cell, bool) {
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return Cell{}, false
+	}
+	var cell Cell
+	if err := json.Unmarshal(data, &cell); err != nil || cell.Key != k || cell.Values == nil {
+		return Cell{}, false
+	}
+	return cell, true
+}
+
+// Put stores a cell under its content key, atomically replacing any
+// existing entry.
+func (c *Cache) Put(cell Cell) error {
+	path := c.path(cell.Key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("results: cache put: %w", err)
+	}
+	data, err := json.MarshalIndent(cell, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: cache put: encoding cell: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cell-*")
+	if err != nil {
+		return fmt.Errorf("results: cache put: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: cache put: %w", err)
+	}
+	return nil
+}
