@@ -2,42 +2,50 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig10|fig11|fig12|fig13|table2|ablation] [-graphs N] [-seed S]
+//	experiments [-exp all|fig10|...|placement,heft,pipeline] [-graphs N] [-seed S]
 //	            [-quick] [-full-models] [-workers N] [-shard i/n] [-out shard.json]
 //	            [-cache dir] [-report]
 //	experiments -merge a.json b.json ...
+//	experiments -list-variants
+//	experiments -cache dir -cache-stats
+//	experiments -cache dir -cache-gc 168h
 //
 // The default reproduces every experiment with 100 random graphs per
-// topology, as in the paper. -quick reduces graph counts and volumes for a
-// fast smoke run. -full-models runs Table 2 on the full-size ResNet-50 and
-// transformer-encoder graphs (tens of thousands of nodes).
+// topology, as in the paper, plus the repo's extensions (the NoC placement
+// sweep, the HEFT baseline comparison, and the steady-state pipelining
+// table). -exp selects a comma-separated subset. -quick reduces graph
+// counts and volumes for a fast smoke run. -full-models runs Table 2 on the
+// full-size ResNet-50 and transformer-encoder graphs (tens of thousands of
+// nodes).
 //
-// Every experiment — the Figure 10/11/13 sweeps, the Figure 12 CSDF
-// comparison, Table 2, and the buffer ablation — compiles to cell jobs on
-// the concurrent engine of internal/experiments: -workers sizes its
-// goroutine pool (default GOMAXPROCS) and -shard i/n runs only the i-th of
-// n job shards so one run can be split across processes or machines. -out
-// writes the shard's cells to a versioned JSON artifact instead of
-// rendering tables, and -merge validates and combines shard artifacts into
-// the final tables, byte-identical to an unsharded run (see
-// docs/ARTIFACTS.md for the format). -cache points at a persistent
-// results cache keyed by graph content, so repeated runs skip
-// already-computed cells; -report summarizes jobs, timings, and cache hits
-// on stderr. A run whose jobs partly failed still writes its output but
-// exits nonzero.
+// Every experiment compiles to cell jobs on the concurrent engine of
+// internal/experiments, dispatching through its Variant and Workload
+// registries (-list-variants prints them): -workers sizes the goroutine
+// pool (default GOMAXPROCS) and -shard i/n runs only the i-th of n job
+// shards so one run can be split across processes or machines. -out writes
+// the shard's cells to a versioned JSON artifact instead of rendering
+// tables, and -merge validates and combines shard artifacts into the final
+// tables, byte-identical to an unsharded run (see docs/ARTIFACTS.md).
+// -cache points at a persistent results cache keyed by graph content, so
+// repeated runs skip already-computed cells; -cache-stats and -cache-gc
+// report and prune it. -report summarizes jobs, timings, and cache hits on
+// stderr. A run whose jobs partly failed still writes its output but exits
+// nonzero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/results"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, fig13, table2, ablation")
+	exp := flag.String("exp", "all", "experiments to run: all, or a comma-separated subset of "+strings.Join(experiments.ExperimentNames(), ","))
 	graphs := flag.Int("graphs", 0, "random graphs per topology (default 100, or 15 with -quick)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "reduced graph counts and volumes")
@@ -46,23 +54,31 @@ func main() {
 	shard := flag.String("shard", "", "run only shard i of n cell jobs, format i/n")
 	out := flag.String("out", "", "write this run's cells to a JSON shard artifact instead of rendering tables")
 	cacheDir := flag.String("cache", "", "persistent results cache directory; computed cells are reused across runs")
+	cacheStats := flag.Bool("cache-stats", false, "print cache entry count, bytes, and last-run hit/miss, then exit (requires -cache)")
+	cacheGC := flag.Duration("cache-gc", 0, "delete cache entries older than this age (e.g. 168h), then exit (requires -cache)")
 	merge := flag.Bool("merge", false, "merge the shard artifacts given as arguments and render their tables")
 	report := flag.Bool("report", false, "print a job/timing/cache summary to stderr")
+	listVariants := flag.Bool("list-variants", false, "list the registered experiments, variants, and workloads, then exit")
 	flag.Parse()
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if err := run(*exp, *graphs, *seed, *quick, *fullModels, *workers, *shard,
-		*out, *cacheDir, *merge, *report, explicit, flag.Args()); err != nil {
+		*out, *cacheDir, *cacheStats, *cacheGC, *merge, *report, *listVariants,
+		explicit, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
 }
 
 func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int,
-	shard, out, cacheDir string, merge, report bool, explicit map[string]bool, args []string) error {
+	shard, out, cacheDir string, cacheStats bool, cacheGC time.Duration,
+	merge, report, listVariants bool, explicit map[string]bool, args []string) error {
 
+	if listVariants {
+		return runListVariants(os.Stdout)
+	}
 	if merge {
 		// Merge mode takes its entire configuration from the artifacts'
 		// metadata; any other flag would be silently ignored, so reject it.
@@ -72,6 +88,17 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 			}
 		}
 		return runMerge(args)
+	}
+	if cacheStats || cacheGC != 0 {
+		// Cache maintenance modes: no experiments run.
+		for name := range explicit {
+			switch name {
+			case "cache", "cache-stats", "cache-gc":
+			default:
+				return fmt.Errorf("-%s has no effect with -cache-stats/-cache-gc", name)
+			}
+		}
+		return runCacheMaintenance(cacheDir, cacheStats, cacheGC)
 	}
 	if len(args) > 0 {
 		return fmt.Errorf("unexpected arguments %q (artifact files go with -merge)", args)
@@ -100,8 +127,9 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 		return err
 	}
 	runner := experiments.Runner{Workers: workers, ShardIndex: idx, ShardCount: count}
+	var cache *results.Cache
 	if cacheDir != "" {
-		cache, err := results.OpenCache(cacheDir)
+		cache, err = results.OpenCache(cacheDir)
 		if err != nil {
 			return err
 		}
@@ -113,6 +141,13 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 	if report {
 		fmt.Fprintf(os.Stderr, "report: %d jobs (%d skipped by shard), %d completed, %d cached, %d failed, elapsed %v, work %v\n",
 			rep.Jobs, rep.Skipped, rep.Completed, rep.CacheHits, len(rep.Failures), rep.Elapsed, rep.Work)
+	}
+	if cache != nil {
+		// Record this run's hit/miss so a later -cache-stats can report it.
+		rc := results.RunCounters{Hits: rep.CacheHits, Misses: rep.Completed - rep.CacheHits, When: time.Now()}
+		if err := cache.RecordRun(rc); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
 	}
 
 	if out != "" {
@@ -148,23 +183,38 @@ func failedJobsError(failed, jobs int) error {
 	return fmt.Errorf("%d of %d jobs failed; output is incomplete", failed, jobs)
 }
 
-// buildSpecs selects the experiments to run, in canonical order. As in the
-// paper's scripts, fig13 and the ablation run element-level simulations, so
-// a full-size run scales their volumes down to the quick config.
+// buildSpecs selects the experiments to run, in canonical order; exp is
+// "all" or a comma-separated subset. As in the paper's scripts, experiments
+// that run element-level simulations (fig13, the ablation) scale their
+// volumes down to the quick config on a full-size run.
 func buildSpecs(exp string, opt experiments.Options, quick, fullModels bool) ([]experiments.Spec, error) {
 	simOpt := opt
 	if !quick {
 		simOpt.Config = experiments.Quick().Config // element-level simulation
 	}
+	selected := map[string]bool{}
+	if exp != "all" {
+		for _, name := range strings.Split(exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := experiments.LookupExperiment(name); err != nil {
+				return nil, err
+			}
+			selected[name] = true
+		}
+	}
 	var specs []experiments.Spec
-	for _, name := range experiments.ExperimentNames {
-		if exp != "all" && exp != name {
+	for _, name := range experiments.ExperimentNames() {
+		if exp != "all" && !selected[name] {
 			continue
 		}
-		switch name {
-		case "table2":
+		e, err := experiments.LookupExperiment(name)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case e.ModelFlag:
 			specs = append(specs, experiments.Spec{Name: name, Full: fullModels})
-		case "fig13", "ablation":
+		case e.Simulates:
 			specs = append(specs, experiments.Spec{Name: name, Opt: simOpt})
 		default:
 			specs = append(specs, experiments.Spec{Name: name, Opt: opt})
@@ -174,6 +224,75 @@ func buildSpecs(exp string, opt experiments.Options, quick, fullModels bool) ([]
 		return nil, fmt.Errorf("unknown experiment %q", exp)
 	}
 	return specs, nil
+}
+
+// runListVariants prints the three registries: experiments in render order
+// with their variants, then every variant with its declared metric keys,
+// then every workload with its PE sweep.
+func runListVariants(w *os.File) error {
+	fmt.Fprintln(w, "experiments (render order):")
+	for _, name := range experiments.ExperimentNames() {
+		e, err := experiments.LookupExperiment(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-10s variants: %s\n", name, strings.Join(e.Variants, ", "))
+	}
+	fmt.Fprintln(w, "\nvariants (cell metrics):")
+	for _, name := range experiments.VariantNames() {
+		v, err := experiments.LookupVariant(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-14s %s\n", name, strings.Join(v.Metrics(), ", "))
+	}
+	fmt.Fprintln(w, "\nworkloads:")
+	for _, name := range experiments.WorkloadNames() {
+		wl, err := experiments.LookupWorkload(name)
+		if err != nil {
+			return err
+		}
+		pes := make([]string, 0, len(wl.PEs()))
+		for _, p := range wl.PEs() {
+			pes = append(pes, fmt.Sprint(p))
+		}
+		fmt.Fprintf(w, "  %-18s %-26s PEs %s\n", name, wl.Family(), strings.Join(pes, ","))
+	}
+	return nil
+}
+
+// runCacheMaintenance handles -cache-stats and -cache-gc: prune first if
+// requested, then report the (post-GC) state.
+func runCacheMaintenance(cacheDir string, stats bool, gc time.Duration) error {
+	if cacheDir == "" {
+		return fmt.Errorf("-cache-stats/-cache-gc need -cache to point at the cache directory")
+	}
+	if gc < 0 {
+		return fmt.Errorf("-cache-gc wants a positive age, got %v", gc)
+	}
+	cache, err := results.OpenCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	if gc != 0 {
+		removed, freed, err := cache.GC(gc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cache-gc: removed %d entries older than %v, freed %d bytes\n", removed, gc, freed)
+	}
+	st, err := cache.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache: %d entries, %d bytes in %s\n", st.Entries, st.Bytes, cache.Dir())
+	if st.LastRun != nil {
+		fmt.Printf("last run (%s): %d hits, %d misses\n",
+			st.LastRun.When.Format(time.RFC3339), st.LastRun.Hits, st.LastRun.Misses)
+	} else if stats {
+		fmt.Println("last run: no counters recorded yet")
+	}
+	return nil
 }
 
 // runMerge combines shard artifacts from separate processes into the final

@@ -38,7 +38,6 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/noc"
-	"repro/internal/onnx"
 	"repro/internal/schedule"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -70,8 +69,13 @@ func run() error {
 		sweepPEs  = flag.String("sweep", "", "schedule at every PE count of this comma-separated list, in parallel")
 		workers   = flag.Int("workers", 0, "worker goroutines for -sweep (default GOMAXPROCS)")
 		shard     = flag.String("shard", "", "run only shard i of n sweep entries, format i/n")
+		listVar   = flag.Bool("list-variants", false, "list the experiment pipeline's registered variants and workloads, then exit")
 	)
 	flag.Parse()
+
+	if *listVar {
+		return listVariants()
+	}
 
 	tg, err := loadGraph(*graphPath, *synthName, *model, *size, *seed)
 	if err != nil {
@@ -143,14 +147,16 @@ func run() error {
 	}
 	if *place {
 		mesh := noc.NewMesh(*pes)
-		_, costs, err := noc.PlaceAll(tg, res, mesh, 2000, rand.New(rand.NewSource(*seed)))
+		// The seed flag deterministically drives the annealer; equal inputs
+		// give byte-identical placement reports.
+		_, costs, err := noc.PlaceAll(tg, res, mesh, 2000, *seed)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("placement on %dx%d mesh (annealed):\n", mesh.W, mesh.H)
 		for b, c := range costs {
-			fmt.Printf("  block %2d: hop-volume %.0f, max link load %.0f, avg hops %.2f\n",
-				b, c.TotalHopVolume, c.MaxLinkLoad, c.AvgHops)
+			fmt.Printf("  block %2d: hop-volume %.0f, max link load %.0f, avg hops %.2f, congestion x%.2f\n",
+				b, c.TotalHopVolume, c.MaxLinkLoad, c.AvgHops, c.CongestionFactor())
 		}
 	}
 	if *pipeline {
@@ -275,23 +281,13 @@ func loadGraph(path, synthName, model string, size int, seed int64) (*core.TaskG
 		return core.DecodeJSON(f)
 	}
 	if model != "" {
-		switch model {
-		case "resnet":
-			return onnx.ResNet50(onnx.TinyResNet50())
-		case "resnet-full":
-			return onnx.ResNet50(onnx.FullResNet50())
-		case "encoder":
-			return onnx.TransformerEncoder(onnx.TinyEncoder())
-		case "encoder-full":
-			return onnx.TransformerEncoder(onnx.BaseEncoder())
-		case "vgg":
-			return onnx.VGG(onnx.TinyVGG())
-		case "vgg-full":
-			return onnx.VGG(onnx.FullVGG16())
-		case "mlp":
-			return onnx.MLP(onnx.MLPConfig{Batch: 64, Layers: []int64{256, 512, 512, 128, 10}})
+		// Model graphs come from the experiment pipeline's workload
+		// registry ("onnx:<name>"), the same sources Table 2 evaluates.
+		w, err := experiments.LookupWorkload("onnx:" + model)
+		if err != nil {
+			return nil, fmt.Errorf("unknown model %q (see -list-variants)", model)
 		}
-		return nil, fmt.Errorf("unknown model %q", model)
+		return w.Build(experiments.Options{}, 0)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cfg := synth.DefaultConfig()
@@ -306,6 +302,29 @@ func loadGraph(path, synthName, model string, size int, seed int64) (*core.TaskG
 		return synth.Cholesky(size, rng, cfg), nil
 	}
 	return nil, fmt.Errorf("unknown synthetic topology %q", synthName)
+}
+
+// listVariants prints the registered variants and workloads of the shared
+// experiment pipeline (cmd/experiments -list-variants adds the experiment
+// registry on top).
+func listVariants() error {
+	fmt.Println("variants (cell metrics):")
+	for _, name := range experiments.VariantNames() {
+		v, err := experiments.LookupVariant(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-14s %s\n", name, strings.Join(v.Metrics(), ", "))
+	}
+	fmt.Println("\nworkloads:")
+	for _, name := range experiments.WorkloadNames() {
+		w, err := experiments.LookupWorkload(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-18s %s\n", name, w.Family())
+	}
+	return nil
 }
 
 func printTasks(tg *core.TaskGraph, res *schedule.Result) {

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/results"
+)
+
+// Experiment is one registered table or figure of the evaluation: a compile
+// hook that expands a Spec into cell jobs and a render hook that turns the
+// produced cells back into the experiment's tables. Registering an
+// experiment is all it takes to ride the whole pipeline — worker-pool
+// execution, process sharding, artifact merging, and the persistent results
+// cache come from the engine, not from the experiment.
+type Experiment struct {
+	// Name is the registry key, the -exp selector, and the artifact
+	// metadata name.
+	Name string
+	// Variants lists the evaluation procedures this experiment's jobs
+	// dispatch to; they must be registered. Artifact metadata records their
+	// declared metric keys so merges can validate cells (docs/ARTIFACTS.md).
+	Variants []string
+	// Simulates marks experiments that run element-level simulation; a
+	// full-size run scales their volumes down to the quick config
+	// (cmd/experiments).
+	Simulates bool
+	// ModelFlag marks experiments configured by -full-models instead of the
+	// synthetic-family options (table2).
+	ModelFlag bool
+	// Jobs expands one spec into its cell jobs, in the deterministic order
+	// every process of a sharded run agrees on.
+	Jobs func(s Spec) []CellJob
+	// Render prints the experiment's tables from a cell set.
+	Render func(w io.Writer, p *Plan, set *results.Set, s Spec)
+}
+
+// experimentRegistry holds the registered experiments; registration happens
+// in this package's init, so lookups are read-only afterwards.
+var (
+	experimentRegistry = map[string]Experiment{}
+	experimentOrder    []string
+)
+
+// RegisterExperiment adds an experiment to the registry, panicking on an
+// empty or duplicate name, a missing hook, or an unregistered variant —
+// these are wiring bugs, not runtime conditions.
+func RegisterExperiment(e Experiment) {
+	if e.Name == "" {
+		panic("experiments: RegisterExperiment: empty experiment name")
+	}
+	if _, dup := experimentRegistry[e.Name]; dup {
+		panic(fmt.Sprintf("experiments: RegisterExperiment(%q): already registered", e.Name))
+	}
+	if e.Jobs == nil || e.Render == nil {
+		panic(fmt.Sprintf("experiments: RegisterExperiment(%q): nil Jobs or Render hook", e.Name))
+	}
+	for _, v := range e.Variants {
+		if _, err := LookupVariant(v); err != nil {
+			panic(fmt.Sprintf("experiments: RegisterExperiment(%q): %v", e.Name, err))
+		}
+	}
+	experimentRegistry[e.Name] = e
+	experimentOrder = append(experimentOrder, e.Name)
+}
+
+// LookupExperiment returns the registered experiment with the given name.
+func LookupExperiment(name string) (Experiment, error) {
+	e, ok := experimentRegistry[name]
+	if !ok {
+		return Experiment{}, fmt.Errorf("unknown experiment %q (want one of %v)",
+			name, ExperimentNames())
+	}
+	return e, nil
+}
+
+// ExperimentNames lists the experiments in their canonical rendering order,
+// the order `-exp all` runs them in (registration order).
+func ExperimentNames() []string {
+	return append([]string(nil), experimentOrder...)
+}

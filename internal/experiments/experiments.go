@@ -8,11 +8,21 @@
 //	Table 2    ResNet-50 and transformer-encoder speedups
 //	Ablation   Equation 5 buffer sizing vs unit FIFOs
 //
-// Every experiment compiles (Compile) to cell jobs on the concurrent
-// Runner: one job evaluates one (graph, PE count, variant) combination and
-// emits a results.Cell. Jobs shard across worker goroutines and across
-// processes (Runner.ShardIndex/ShardCount), shards serialize to versioned
-// JSON artifacts that results.Merge recombines deterministically, and a
+// plus three pipeline-native extensions beyond the paper:
+//
+//	Placement  SB-LTS blocks on a 2D-mesh NoC: congestion and slowdown
+//	HEFT       the classical buffered list scheduler vs SB-LTS
+//	Pipeline   steady-state macro-pipelining of repeated iterations
+//
+// The package is organized around three registries (register.go wires
+// them): Variants are the evaluation procedures cells are named after,
+// Workloads are the graph sources (synthetic families, ONNX models), and
+// Experiments pair a Spec-to-jobs compiler with a table renderer. Every
+// experiment compiles (Compile) to cell jobs on the concurrent Runner: one
+// job evaluates one (graph, PE count, variant) combination and emits a
+// results.Cell. Jobs shard across worker goroutines and across processes
+// (Runner.ShardIndex/ShardCount), shards serialize to versioned JSON
+// artifacts that results.Merge recombines deterministically, and a
 // persistent results.Cache keyed by graph content lets repeated runs skip
 // already-computed cells. Tables render (Render) from the merged cell set
 // and are byte-identical however the cells were produced. Randomness is

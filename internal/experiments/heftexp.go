@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// The heft experiment compares the paper's SB-LTS streaming heuristic
+// against HEFT (Topcuoglu et al., reference [33]) on a homogeneous device —
+// the classical buffered list scheduler the paper's Section 9 names as the
+// baseline for heterogeneous extensions. Both sides run over the same sweep
+// graphs; the SB-LTS cells are the same cells Figures 10/11 render, so a
+// combined run computes them once.
+
+// heftKey addresses one graph's HEFT cell at one PE count.
+func heftKey(topo Topology, opt Options, g, pes int) results.CellKey {
+	return results.CellKey{Graph: graphID(topo.Name, opt, g), PEs: pes, Variant: VariantHEFT}
+}
+
+// heftJobs compiles, per (sweep workload, graph, PE count), one HEFT job and
+// one SB-LTS job. The SB-LTS jobs carry the exact keys of the Figure 10
+// sweep cells, so compiling heft together with fig10/fig11 deduplicates
+// them.
+func heftJobs(s Spec) []CellJob {
+	opt := s.Opt
+	var jobs []CellJob
+	for _, w := range SweepWorkloads() {
+		for g := 0; g < w.Instances(opt); g++ {
+			gid := w.GraphID(opt, g)
+			build := mustBuildWorkload(w, opt, g)
+			for _, p := range w.PEs() {
+				for _, variant := range []string{VariantLTS, VariantHEFT} {
+					jobs = append(jobs, CellJob{
+						Job:      Job{Family: w.Family(), Graph: g, PEs: p, Variant: variant},
+						Key:      results.CellKey{Graph: gid, PEs: p, Variant: variant},
+						graphKey: gid,
+						build:    build,
+						variant:  mustVariant(variant),
+					})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// renderHEFT prints one table per topology: per PE count, the median
+// speedups of both schedulers and the per-graph streaming gain
+// (SB-LTS speedup / HEFT speedup, which equals the makespan ratio
+// HEFT / SB-LTS since both speedups share the same sequential time).
+func renderHEFT(w io.Writer, set *results.Set, opt Options) {
+	fmt.Fprintf(w, "== HEFT baseline vs SB-LTS streaming (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "%6s  %16s %18s %18s\n",
+			"PEs", "HEFT speedup", "SB-LTS speedup", "gain (med/max)")
+		for _, p := range topo.PEs {
+			var heftSp, ltsSp, gains []float64
+			for g := 0; g < opt.Graphs; g++ {
+				hc, hok := set.Get(heftKey(topo, opt, g, p))
+				lc, lok := set.Get(sweepKey(topo, opt, g, p, VariantLTS, false))
+				if hok {
+					heftSp = append(heftSp, hc.Values["speedup"])
+				}
+				if lok {
+					ltsSp = append(ltsSp, lc.Values["speedup"])
+				}
+				if hok && lok && hc.Values["speedup"] > 0 {
+					gains = append(gains, lc.Values["speedup"]/hc.Values["speedup"])
+				}
+			}
+			h, l, gn := stats.Summarize(heftSp), stats.Summarize(ltsSp), stats.Summarize(gains)
+			fmt.Fprintf(w, "%6d  %16.2f %18.2f %9.2f %8.2f\n",
+				p, h.Median, l.Median, gn.Median, gn.Max)
+		}
+		fmt.Fprintln(w)
+	}
+}

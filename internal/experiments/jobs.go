@@ -6,60 +6,24 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"repro/internal/baseline"
-	"repro/internal/buffers"
 	"repro/internal/core"
-	"repro/internal/csdf"
-	"repro/internal/desim"
-	"repro/internal/onnx"
 	"repro/internal/results"
-	"repro/internal/schedule"
 )
-
-// Variant names identify the evaluation procedure of a cell; together with
-// the graph and PE count they address one unit of experiment output in
-// shard artifacts and the results cache (see docs/ARTIFACTS.md for the
-// values each variant produces).
-const (
-	// VariantLTS, VariantRLX, and VariantNSTR are the sweep procedures
-	// behind Figures 10, 11, and 13: the two streaming heuristics and the
-	// non-streaming baseline.
-	VariantLTS  = "SB-LTS"
-	VariantRLX  = "SB-RLX"
-	VariantNSTR = "NSTR"
-	// VariantFig12Str and VariantFig12CSDF are the Section 7.2 comparison:
-	// the canonical-graph scheduler and the CSDF self-timed engine, each
-	// with as many PEs as compute nodes (the PEs field of their keys is the
-	// 0 sentinel).
-	VariantFig12Str  = "fig12-str"
-	VariantFig12CSDF = "fig12-csdf"
-	// VariantTable2Str and VariantTable2NSTR are the Table 2 model rows:
-	// SB-LTS streaming vs the buffered baseline.
-	VariantTable2Str  = "table2-str"
-	VariantTable2NSTR = "table2-nstr"
-	// VariantAblationUnit is the buffer-sizing ablation: one schedule
-	// simulated with Equation 5 FIFO sizes and again with unit FIFOs.
-	VariantAblationUnit = "ablation-unit"
-)
-
-// ExperimentNames lists the experiments in their canonical rendering
-// order, the order `-exp all` runs them in.
-var ExperimentNames = []string{"fig10", "fig11", "fig12", "fig13", "table2", "ablation"}
 
 // Spec selects one experiment and the options it runs with. A slice of
 // specs compiles to a Plan.
 type Spec struct {
-	// Name is one of ExperimentNames.
+	// Name is one of ExperimentNames().
 	Name string
-	// Opt bounds the synthetic families (ignored by table2).
+	// Opt bounds the synthetic families (ignored by ModelFlag experiments).
 	Opt Options
 	// Full selects the full-size Table 2 model graphs (table2 only).
 	Full bool
 }
 
 // CellJob is one schedulable unit of an experiment: build (or fetch) one
-// task graph, run one evaluation procedure on it, and emit the named
-// values of a results.Cell.
+// task graph, run one registered Variant on it, and emit the named values
+// of a results.Cell.
 type CellJob struct {
 	// Job is the human-readable identity used in reports and failures.
 	Job Job
@@ -68,7 +32,10 @@ type CellJob struct {
 	// graphKey memoizes graph construction in a GraphCache.
 	graphKey string
 	build    func() *core.TaskGraph
-	eval     func(ws *workerState, tg *core.TaskGraph, depth float64) (map[string]float64, error)
+	// variant is the registered evaluation procedure; the engine calls it
+	// with EvalParams derived from Job (PEs, Simulate) plus the memoized
+	// streaming depth.
+	variant Variant
 }
 
 // Plan is the deduplicated, canonically ordered job list compiled from a
@@ -82,38 +49,23 @@ type Plan struct {
 	graphs *GraphCache
 }
 
-// Compile expands the specs into their cell jobs, deduplicating by cell
-// key, in a deterministic order every process of a sharded run agrees on.
+// Compile expands the specs into their cell jobs through the experiment
+// registry, deduplicating by cell key, in a deterministic order every
+// process of a sharded run agrees on.
 func Compile(specs []Spec) (*Plan, error) {
 	p := &Plan{Specs: specs, graphs: NewGraphCache()}
 	seen := make(map[results.CellKey]bool)
-	add := func(jobs []CellJob) {
-		for _, j := range jobs {
+	for _, s := range specs {
+		e, err := LookupExperiment(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range e.Jobs(s) {
 			if seen[j.Key] {
 				continue
 			}
 			seen[j.Key] = true
 			p.Jobs = append(p.Jobs, j)
-		}
-	}
-	for _, s := range specs {
-		switch s.Name {
-		case "fig10", "fig11":
-			for _, topo := range Topologies() {
-				add(sweepTopoJobs(topo, s.Opt, false))
-			}
-		case "fig13":
-			for _, topo := range Topologies() {
-				add(sweepTopoJobs(topo, s.Opt, true))
-			}
-		case "fig12":
-			add(fig12Jobs(s.Opt))
-		case "table2":
-			add(table2Jobs(s.Full))
-		case "ablation":
-			add(ablationJobs(s.Opt))
-		default:
-			return nil, fmt.Errorf("experiments: unknown experiment %q", s.Name)
 		}
 	}
 	return p, nil
@@ -165,22 +117,33 @@ func VerifySet(p *Plan, set *results.Set, excused map[string]bool) error {
 
 // MetaFromSpecs records a run's specs and shard position as artifact
 // metadata, enough for SpecsFromMeta to recompile the identical plan in a
-// reader process. Worker counts and shard settings inside Opt are
-// deliberately dropped: they do not affect the compiled jobs.
+// reader process, plus the metric keys each variant of the run declares so
+// a merge can validate foreign cells. Worker counts and shard settings
+// inside Opt are deliberately dropped: they do not affect the compiled jobs.
 func MetaFromSpecs(specs []Spec, shardIndex, shardCount int) results.Meta {
 	if shardCount < 1 {
 		shardIndex, shardCount = 0, 1
 	}
 	m := results.Meta{ShardIndex: shardIndex, ShardCount: shardCount}
+	variants := make(map[string][]string)
 	for _, s := range specs {
 		em := results.ExpMeta{Name: s.Name}
-		if s.Name == "table2" {
+		e, err := LookupExperiment(s.Name)
+		if err == nil {
+			for _, vn := range e.Variants {
+				variants[vn] = mustVariant(vn).Metrics()
+			}
+		}
+		if err == nil && e.ModelFlag {
 			em.FullModels = s.Full
 		} else {
 			cfg := s.Opt.Config
 			em.Graphs, em.Seed, em.Config = s.Opt.Graphs, s.Opt.Seed, &cfg
 		}
 		m.Experiments = append(m.Experiments, em)
+	}
+	if len(variants) > 0 {
+		m.Variants = variants
 	}
 	return m
 }
@@ -189,8 +152,12 @@ func MetaFromSpecs(specs []Spec, shardIndex, shardCount int) results.Meta {
 func SpecsFromMeta(m results.Meta) ([]Spec, error) {
 	specs := make([]Spec, 0, len(m.Experiments))
 	for _, em := range m.Experiments {
+		e, err := LookupExperiment(em.Name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: artifact metadata: %w", err)
+		}
 		s := Spec{Name: em.Name}
-		if em.Name == "table2" {
+		if e.ModelFlag {
 			s.Full = em.FullModels
 		} else {
 			if em.Config == nil {
@@ -232,24 +199,32 @@ func sweepKey(topo Topology, opt Options, g, pes int, variant string, simulate b
 	return results.CellKey{Graph: graphID(topo.Name, opt, g), PEs: pes, Variant: variant, Simulate: simulate}
 }
 
-// sweepTopoJobs enumerates one topology's sweep in the sequential loop's
-// order — graphs outermost, then PE counts, then LTS/RLX/NSTR — so that
-// aggregating completed cells in job order reproduces the sequential
+// sweepVariantNames is the per-(graph, PE) fan-out of the Figure 10/11/13
+// sweeps, in the sequential loop's order.
+var sweepVariantNames = []string{VariantLTS, VariantRLX, VariantNSTR}
+
+// numSweepVariants is the LTS/RLX/NSTR fan-out per (graph, PE) sweep cell.
+var numSweepVariants = len(sweepVariantNames)
+
+// sweepWorkloadJobs enumerates one workload's sweep in the sequential
+// loop's order — graphs outermost, then PE counts, then LTS/RLX/NSTR — so
+// that aggregating completed cells in job order reproduces the sequential
 // append order bit for bit.
-func sweepTopoJobs(topo Topology, opt Options, simulate bool) []CellJob {
-	jobs := make([]CellJob, 0, opt.Graphs*len(topo.PEs)*numSweepVariants)
-	for g := 0; g < opt.Graphs; g++ {
-		gid := graphID(topo.Name, opt, g)
-		build := graphBuilder(topo, opt, g)
-		for _, p := range topo.PEs {
-			for _, variant := range []string{VariantLTS, VariantRLX, VariantNSTR} {
+func sweepWorkloadJobs(w Workload, opt Options, simulate bool) []CellJob {
+	pes := w.PEs()
+	jobs := make([]CellJob, 0, w.Instances(opt)*len(pes)*numSweepVariants)
+	for g := 0; g < w.Instances(opt); g++ {
+		gid := w.GraphID(opt, g)
+		build := mustBuildWorkload(w, opt, g)
+		for _, p := range pes {
+			for _, variant := range sweepVariantNames {
 				sim := simulate && variant != VariantNSTR // the baseline never simulates
 				jobs = append(jobs, CellJob{
-					Job:      Job{Family: topo.Name, Graph: g, PEs: p, Variant: variant, Simulate: sim},
-					Key:      sweepKey(topo, opt, g, p, variant, sim),
+					Job:      Job{Family: w.Family(), Graph: g, PEs: p, Variant: variant, Simulate: sim},
+					Key:      results.CellKey{Graph: gid, PEs: p, Variant: variant, Simulate: sim},
 					graphKey: gid,
 					build:    build,
-					eval:     sweepEval(variant, p, sim),
+					variant:  mustVariant(variant),
 				})
 			}
 		}
@@ -257,58 +232,21 @@ func sweepTopoJobs(topo Topology, opt Options, simulate bool) []CellJob {
 	return jobs
 }
 
-// numSweepVariants is the LTS/RLX/NSTR fan-out per (graph, PE) sweep cell.
-const numSweepVariants = 3
-
-// graphBuilder seeds and builds one instance of a synthetic family.
-func graphBuilder(topo Topology, opt Options, g int) func() *core.TaskGraph {
-	return func() *core.TaskGraph {
-		return topo.Build(newRng(opt.Seed+int64(g)), opt.Config)
-	}
+// sweepTopoJobs is sweepWorkloadJobs over an ad-hoc synthetic family; it
+// backs Runner.Sweep, which accepts arbitrary topologies.
+func sweepTopoJobs(topo Topology, opt Options, simulate bool) []CellJob {
+	return sweepWorkloadJobs(&synthWorkload{key: "synth:" + topo.Name, topo: topo}, opt, simulate)
 }
 
-// sweepEval evaluates one scheduler variant at one PE count; the
-// arithmetic matches RunSweepSequential exactly, so cells are bitwise
-// reproducible.
-func sweepEval(variant string, pes int, simulate bool) func(*workerState, *core.TaskGraph, float64) (map[string]float64, error) {
-	return func(ws *workerState, tg *core.TaskGraph, depth float64) (map[string]float64, error) {
-		if variant == VariantNSTR {
-			nstr, err := baseline.Schedule(tg, pes, baseline.Options{Insertion: true})
-			if err != nil {
-				return nil, err
-			}
-			return map[string]float64{"speedup": nstr.Speedup(tg), "util": nstr.Utilization(tg)}, nil
+// sweepSpecJobs compiles one Figure 10/11/13 spec: every registered sweep
+// workload across its PE counts.
+func sweepSpecJobs(simulate bool) func(Spec) []CellJob {
+	return func(s Spec) []CellJob {
+		var jobs []CellJob
+		for _, w := range SweepWorkloads() {
+			jobs = append(jobs, sweepWorkloadJobs(w, s.Opt, simulate)...)
 		}
-		v := schedule.SBLTS
-		if variant == VariantRLX {
-			v = schedule.SBRLX
-		}
-		part, err := schedule.Algorithm1(tg, pes, schedule.Options{Variant: v})
-		if err != nil {
-			return nil, err
-		}
-		res, err := ws.sched.Schedule(tg, part, pes)
-		if err != nil {
-			return nil, err
-		}
-		vals := map[string]float64{
-			"speedup": res.Speedup(tg),
-			"sslr":    res.Makespan / depth,
-			"util":    res.Utilization(tg, pes),
-		}
-		if simulate {
-			st, err := ws.sim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
-			if err != nil {
-				return nil, err
-			}
-			vals["simerr"], vals["deadlock"] = 0, 0
-			if st.Deadlocked {
-				vals["deadlock"] = 1
-			} else {
-				vals["simerr"] = st.RelativeError(res.Makespan)
-			}
-		}
-		return vals, nil
+		return jobs
 	}
 }
 
@@ -323,65 +261,29 @@ func fig12Key(topo Topology, opt Options, g int, variant string) results.CellKey
 // timing the canonical-graph scheduler (SB-RLX, as many PEs as tasks) and
 // one timing the CSDF self-timed engine. The makespan ratio is computed at
 // render time from the two cells.
-func fig12Jobs(opt Options) []CellJob {
+func fig12Jobs(s Spec) []CellJob {
+	opt := s.Opt
 	var jobs []CellJob
-	for _, topo := range Topologies() {
-		for g := 0; g < opt.Graphs; g++ {
-			gid := graphID(topo.Name, opt, g)
-			build := graphBuilder(topo, opt, g)
-			jobs = append(jobs,
-				CellJob{
-					Job:      Job{Family: topo.Name, Graph: g, Variant: VariantFig12Str},
-					Key:      fig12Key(topo, opt, g, VariantFig12Str),
+	for _, w := range SweepWorkloads() {
+		for g := 0; g < w.Instances(opt); g++ {
+			gid := w.GraphID(opt, g)
+			build := mustBuildWorkload(w, opt, g)
+			for _, variant := range []string{VariantFig12Str, VariantFig12CSDF} {
+				jobs = append(jobs, CellJob{
+					Job:      Job{Family: w.Family(), Graph: g, Variant: variant},
+					Key:      results.CellKey{Graph: gid, PEs: 0, Variant: variant},
 					graphKey: gid,
 					build:    build,
-					eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
-						p := tg.NumComputeNodes()
-						var res *schedule.Result
-						var err error
-						dur := ws.measure(func() {
-							var part schedule.Partition
-							part, err = schedule.PartitionRLX(tg, p)
-							if err != nil {
-								return
-							}
-							res, err = ws.sched.Schedule(tg, part, p)
-						})
-						if err != nil {
-							return nil, err
-						}
-						return map[string]float64{"seconds": dur.Seconds(), "makespan": res.Makespan}, nil
-					},
-				},
-				CellJob{
-					Job:      Job{Family: topo.Name, Graph: g, Variant: VariantFig12CSDF},
-					Key:      fig12Key(topo, opt, g, VariantFig12CSDF),
-					graphKey: gid,
-					build:    build,
-					eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
-						var optimal float64
-						var err error
-						dur := ws.measure(func() {
-							var cg *csdf.Graph
-							cg, err = csdf.FromCanonical(tg)
-							if err != nil {
-								return
-							}
-							optimal, err = cg.SelfTimedMakespan()
-						})
-						if err != nil {
-							return nil, err
-						}
-						return map[string]float64{"seconds": dur.Seconds(), "makespan": optimal}, nil
-					},
-				},
-			)
+					variant:  mustVariant(variant),
+				})
+			}
 		}
 	}
 	return jobs
 }
 
-// table2Model is one ML workload of Table 2.
+// table2Model is one ML workload of Table 2, a view over the registered
+// onnx workloads.
 type table2Model struct {
 	name  string
 	gid   string // cell-key graph id and graph-cache key
@@ -390,48 +292,22 @@ type table2Model struct {
 }
 
 // table2Models returns the Table 2 workloads with the paper's PE sweeps
-// (or proportionally scaled ones that keep a non-full run under a second).
+// (or proportionally scaled ones that keep a non-full run under a second),
+// resolved from the workload registry.
 func table2Models(full bool) []table2Model {
-	size := "tiny"
+	keys := []string{"onnx:resnet", "onnx:encoder"}
 	if full {
-		size = "full"
+		keys = []string{"onnx:resnet-full", "onnx:encoder-full"}
 	}
-	mustBuild := func(build func() (*core.TaskGraph, error)) func() *core.TaskGraph {
-		return func() *core.TaskGraph {
-			tg, err := build()
-			if err != nil {
-				panic(err) // the model graphs are static; failing to build one is a bug
-			}
-			return tg
-		}
-	}
-	models := []table2Model{
-		{
-			name: "Resnet-50",
-			gid:  "model:Resnet-50/" + size,
-			build: mustBuild(func() (*core.TaskGraph, error) {
-				if full {
-					return onnx.ResNet50(onnx.FullResNet50())
-				}
-				return onnx.ResNet50(onnx.TinyResNet50())
-			}),
-			pes: []int{512, 1024, 1536, 2048},
-		},
-		{
-			name: "Transformer encoder layer",
-			gid:  "model:Transformer-encoder/" + size,
-			build: mustBuild(func() (*core.TaskGraph, error) {
-				if full {
-					return onnx.TransformerEncoder(onnx.BaseEncoder())
-				}
-				return onnx.TransformerEncoder(onnx.TinyEncoder())
-			}),
-			pes: []int{256, 512, 768, 1024, 2048},
-		},
-	}
-	if !full {
-		models[0].pes = []int{64, 128, 192, 256}
-		models[1].pes = []int{32, 64, 96, 128}
+	models := make([]table2Model, 0, len(keys))
+	for _, k := range keys {
+		w := mustWorkload(k)
+		models = append(models, table2Model{
+			name:  w.Family(),
+			gid:   w.GraphID(Options{}, 0),
+			build: mustBuildWorkload(w, Options{}, 0),
+			pes:   w.PEs(),
+		})
 	}
 	return models
 }
@@ -439,60 +315,32 @@ func table2Models(full bool) []table2Model {
 // table2Jobs compiles one streaming and one baseline job per (model, PE
 // count) row; the gain column is the ratio of the two makespans, computed
 // at render time.
-func table2Jobs(full bool) []CellJob {
+func table2Jobs(s Spec) []CellJob {
 	var jobs []CellJob
-	for _, m := range table2Models(full) {
+	for _, m := range table2Models(s.Full) {
 		for _, p := range m.pes {
-			jobs = append(jobs,
-				CellJob{
-					Job:      Job{Family: m.name, PEs: p, Variant: VariantTable2Str},
-					Key:      results.CellKey{Graph: m.gid, PEs: p, Variant: VariantTable2Str},
+			for _, variant := range []string{VariantTable2Str, VariantTable2NSTR} {
+				jobs = append(jobs, CellJob{
+					Job:      Job{Family: m.name, PEs: p, Variant: variant},
+					Key:      results.CellKey{Graph: m.gid, PEs: p, Variant: variant},
 					graphKey: m.gid,
 					build:    m.build,
-					eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
-						part, err := schedule.PartitionLTS(tg, p)
-						if err != nil {
-							return nil, err
-						}
-						res, err := ws.sched.Schedule(tg, part, p)
-						if err != nil {
-							return nil, err
-						}
-						var bufs int
-						for _, n := range tg.Nodes {
-							if n.Kind == core.Buffer {
-								bufs++
-							}
-						}
-						// The graph shape rides along so a -merge can print the
-						// model header without rebuilding the (possibly huge) graph.
-						return map[string]float64{
-							"speedup": res.Speedup(tg), "makespan": res.Makespan,
-							"nodes": float64(tg.Len()), "buffers": float64(bufs),
-						}, nil
-					},
-				},
-				CellJob{
-					Job:      Job{Family: m.name, PEs: p, Variant: VariantTable2NSTR},
-					Key:      results.CellKey{Graph: m.gid, PEs: p, Variant: VariantTable2NSTR},
-					graphKey: m.gid,
-					build:    m.build,
-					eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
-						nstr, err := baseline.Schedule(tg, p, baseline.Options{Insertion: true})
-						if err != nil {
-							return nil, err
-						}
-						return map[string]float64{"speedup": nstr.Speedup(tg), "makespan": nstr.Makespan}, nil
-					},
-				},
-			)
+					variant:  mustVariant(variant),
+				})
+			}
 		}
 	}
 	return jobs
 }
 
-// ablationTopologies is the ablation's family list: the paper's four plus
+// ablationWorkloads is the ablation's family list: the paper's four plus
 // the reconvergent diamond that triggers the Figure 9 failure mode.
+func ablationWorkloads() []Workload {
+	return append(SweepWorkloads(), mustWorkload("synth:diamond"))
+}
+
+// ablationTopologies returns the ablation families as topologies for the
+// renderers and sequential references.
 func ablationTopologies() []Topology {
 	return append(Topologies(), diamondTopology())
 }
@@ -501,52 +349,30 @@ func ablationTopologies() []Topology {
 // middle of its sweep.
 func ablationPE(topo Topology) int { return topo.PEs[len(topo.PEs)/2] }
 
+// ablationWorkloadPE is ablationPE over a workload's PE sweep.
+func ablationWorkloadPE(w Workload) int { pes := w.PEs(); return pes[len(pes)/2] }
+
 // ablationKey addresses one graph's buffer-sizing ablation cell.
 func ablationKey(topo Topology, opt Options, g int) results.CellKey {
 	return results.CellKey{Graph: graphID(topo.Name, opt, g), PEs: ablationPE(topo), Variant: VariantAblationUnit}
 }
 
 // ablationJobs compiles one job per graph: schedule with SB-LTS, simulate
-// once with Equation 5 FIFO sizes and once with unit FIFOs, and report
+// once with Equation 5 FIFO sizes and again with unit FIFOs, and report
 // both makespans plus whether unit FIFOs deadlocked.
-func ablationJobs(opt Options) []CellJob {
+func ablationJobs(s Spec) []CellJob {
+	opt := s.Opt
 	var jobs []CellJob
-	for _, topo := range ablationTopologies() {
-		p := ablationPE(topo)
-		for g := 0; g < opt.Graphs; g++ {
+	for _, w := range ablationWorkloads() {
+		p := ablationWorkloadPE(w)
+		for g := 0; g < w.Instances(opt); g++ {
+			gid := w.GraphID(opt, g)
 			jobs = append(jobs, CellJob{
-				Job:      Job{Family: topo.Name, Graph: g, PEs: p, Variant: VariantAblationUnit},
-				Key:      ablationKey(topo, opt, g),
-				graphKey: graphID(topo.Name, opt, g),
-				build:    graphBuilder(topo, opt, g),
-				eval: func(ws *workerState, tg *core.TaskGraph, _ float64) (map[string]float64, error) {
-					part, err := schedule.PartitionLTS(tg, p)
-					if err != nil {
-						return nil, err
-					}
-					res, err := ws.sched.Schedule(tg, part, p)
-					if err != nil {
-						return nil, err
-					}
-					sized, err := ws.sim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
-					if err != nil {
-						return nil, err
-					}
-					if sized.Deadlocked {
-						// Figure 13 guarantees the Equation 5 sizes cannot deadlock.
-						return nil, fmt.Errorf("sized simulation deadlocked")
-					}
-					sizedMakespan := sized.Makespan // copy before the scratch is reused
-					unit, err := ws.sim.Simulate(tg, res, desim.Config{DefaultCap: 1})
-					if err != nil {
-						return nil, err
-					}
-					vals := map[string]float64{"sized": sizedMakespan, "unit": unit.Makespan, "deadlock": 0}
-					if unit.Deadlocked {
-						vals["deadlock"] = 1
-					}
-					return vals, nil
-				},
+				Job:      Job{Family: w.Family(), Graph: g, PEs: p, Variant: VariantAblationUnit},
+				Key:      results.CellKey{Graph: gid, PEs: p, Variant: VariantAblationUnit},
+				graphKey: gid,
+				build:    mustBuildWorkload(w, opt, g),
+				variant:  mustVariant(VariantAblationUnit),
 			})
 		}
 	}

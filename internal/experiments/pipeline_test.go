@@ -27,19 +27,25 @@ func fixedMeasure(f func()) time.Duration {
 	return time.Millisecond
 }
 
-// allSpecs is the -exp all plan at a reduced size, every experiment on one
-// shared option set.
+// allSpecs is the -exp all plan at a reduced size, every registered
+// experiment — including the placement, HEFT, and pipelining extensions —
+// on one shared option set.
 func allSpecs(graphs int) []Spec {
 	opt := Quick()
 	opt.Graphs = graphs
-	return []Spec{
-		{Name: "fig10", Opt: opt},
-		{Name: "fig11", Opt: opt},
-		{Name: "fig12", Opt: opt},
-		{Name: "fig13", Opt: opt},
-		{Name: "table2"},
-		{Name: "ablation", Opt: opt},
+	var specs []Spec
+	for _, name := range ExperimentNames() {
+		e, err := LookupExperiment(name)
+		if err != nil {
+			panic(err)
+		}
+		if e.ModelFlag {
+			specs = append(specs, Spec{Name: name})
+			continue
+		}
+		specs = append(specs, Spec{Name: name, Opt: opt})
 	}
+	return specs
 }
 
 // renderSpecs compiles and runs specs on one engine configuration and

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/results"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+)
+
+// The placement experiment extends the paper's contention-free device model
+// with the Section 9 future-work axis: place every SB-LTS spatial block on a
+// 2D-mesh NoC (XY routing, greedy BFS seeded by the schedule, simulated-
+// annealing refinement) and report how much the placement violates the
+// contention-free assumption. Placement never changes the schedule's logical
+// times; the congestion factor bounds the slowdown a real mesh would add.
+
+// placementAnnealIters is the fixed annealing budget per block. It is part
+// of the variant's evaluation arithmetic: changing it changes placement
+// cells, so it must only change together with a results.SchemaVersion bump.
+const placementAnnealIters = 300
+
+// placementSeed seeds the annealer. It is a fixed constant — not the run
+// seed — so placement cells are a pure function of (graph content, PEs) and
+// the content-addressed results cache stays sound across differently-seeded
+// runs.
+const placementSeed = 1
+
+// placementVariant schedules with SB-LTS, places every spatial block on the
+// smallest near-square mesh with at least PEs processing elements, and
+// reports the worst-block congestion factor plus the estimated slowdown of
+// the placed schedule: each block's duration is scaled by its own congestion
+// factor, and blocks execute back to back (they are temporally multiplexed).
+type placementVariant struct{}
+
+func (placementVariant) Name() string { return VariantPlacement }
+
+func (placementVariant) Metrics() []string {
+	return []string{"congestion", "slowdown", "hopvol", "maxload"}
+}
+
+func (placementVariant) Eval(ctx *EvalContext, tg *core.TaskGraph, p EvalParams) (map[string]float64, error) {
+	part, err := schedule.PartitionLTS(tg, p.PEs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ctx.Sched.Schedule(tg, part, p.PEs)
+	if err != nil {
+		return nil, err
+	}
+	mesh := noc.NewMesh(p.PEs)
+	_, costs, err := noc.PlaceAll(tg, res, mesh, placementAnnealIters, placementSeed)
+	if err != nil {
+		return nil, err
+	}
+	pl := schedule.AnalyzePipeline(tg, res)
+	if len(costs) != len(pl.BlockDurations) {
+		return nil, fmt.Errorf("placement: %d placed blocks, %d scheduled blocks", len(costs), len(pl.BlockDurations))
+	}
+	worst := 1.0
+	placed := res.Makespan
+	var hopvol, maxload float64
+	for b, c := range costs {
+		f := c.CongestionFactor()
+		if f > worst {
+			worst = f
+		}
+		// A block whose links are oversubscribed by factor f drains its
+		// streaming traffic f times slower; the blocks beyond it start late
+		// by the same amount.
+		placed += pl.BlockDurations[b] * (f - 1)
+		hopvol += c.TotalHopVolume
+		if c.MaxLinkLoad > maxload {
+			maxload = c.MaxLinkLoad
+		}
+	}
+	slowdown := 1.0
+	if res.Makespan > 0 {
+		slowdown = placed / res.Makespan
+	}
+	return map[string]float64{
+		"congestion": worst,
+		"slowdown":   slowdown,
+		"hopvol":     hopvol,
+		"maxload":    maxload,
+	}, nil
+}
+
+// placementKey addresses one graph's placement cell at one PE count.
+func placementKey(topo Topology, opt Options, g, pes int) results.CellKey {
+	return results.CellKey{Graph: graphID(topo.Name, opt, g), PEs: pes, Variant: VariantPlacement}
+}
+
+// placementJobs compiles one placement job per (sweep workload, graph, PE
+// count).
+func placementJobs(s Spec) []CellJob {
+	opt := s.Opt
+	var jobs []CellJob
+	for _, w := range SweepWorkloads() {
+		for g := 0; g < w.Instances(opt); g++ {
+			gid := w.GraphID(opt, g)
+			build := mustBuildWorkload(w, opt, g)
+			for _, p := range w.PEs() {
+				jobs = append(jobs, CellJob{
+					Job:      Job{Family: w.Family(), Graph: g, PEs: p, Variant: VariantPlacement},
+					Key:      results.CellKey{Graph: gid, PEs: p, Variant: VariantPlacement},
+					graphKey: gid,
+					build:    build,
+					variant:  mustVariant(VariantPlacement),
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// renderPlacement prints one table per topology: per PE count, the mesh
+// dimensions and the distribution of the congestion factor and the
+// estimated placed-vs-contention-free slowdown across graphs.
+func renderPlacement(w io.Writer, set *results.Set, opt Options) {
+	fmt.Fprintf(w, "== Placement: SB-LTS blocks on a 2D-mesh NoC (%d graphs/topology) ==\n\n", opt.Graphs)
+	for _, topo := range Topologies() {
+		fmt.Fprintf(w, "%s (#Tasks = %d)\n", topo.Name, topo.Tasks)
+		fmt.Fprintf(w, "%6s %6s  %22s  %20s %10s\n",
+			"PEs", "mesh", "congestion (med/max)", "slowdown (med/max)", "avg hopvol")
+		for _, p := range topo.PEs {
+			var congestion, slowdown, hopvol []float64
+			for g := 0; g < opt.Graphs; g++ {
+				cell, ok := set.Get(placementKey(topo, opt, g, p))
+				if !ok {
+					continue
+				}
+				congestion = append(congestion, cell.Values["congestion"])
+				slowdown = append(slowdown, cell.Values["slowdown"])
+				hopvol = append(hopvol, cell.Values["hopvol"])
+			}
+			mesh := noc.NewMesh(p)
+			c, s, h := stats.Summarize(congestion), stats.Summarize(slowdown), stats.Summarize(hopvol)
+			fmt.Fprintf(w, "%6d %6s  %10.2f %10.2f  %9.3f %9.3f %11.0f\n",
+				p, fmt.Sprintf("%dx%d", mesh.W, mesh.H), c.Median, c.Max, s.Median, s.Max, h.Mean)
+		}
+		fmt.Fprintln(w)
+	}
+}

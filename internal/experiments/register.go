@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/onnx"
+	"repro/internal/results"
+	"repro/internal/schedule"
+)
+
+// init wires the three registries in one place so the canonical orders —
+// experiment rendering order, sweep-workload figure order — are explicit
+// and independent of file initialization order. Everything else in the
+// package dispatches through lookups; adding a scenario means adding a
+// variant and/or workload here plus one experiment file.
+func init() {
+	registerVariants()
+	registerWorkloads()
+	registerExperiments()
+}
+
+func registerVariants() {
+	RegisterVariant(streamSweepVariant{name: VariantLTS, heuristic: schedule.SBLTS})
+	RegisterVariant(streamSweepVariant{name: VariantRLX, heuristic: schedule.SBRLX})
+	RegisterVariant(nstrVariant{})
+	RegisterVariant(fig12StrVariant{})
+	RegisterVariant(fig12CSDFVariant{})
+	RegisterVariant(table2StrVariant{})
+	RegisterVariant(table2NSTRVariant{})
+	RegisterVariant(ablationVariant{})
+	RegisterVariant(heftVariant{})
+	RegisterVariant(pipelineVariant{})
+	RegisterVariant(placementVariant{})
+}
+
+func registerWorkloads() {
+	// The four sweep families, in figure order (sweepWorkloadNames), plus
+	// the ablation's reconvergent diamond.
+	topos := Topologies()
+	for i, name := range sweepWorkloadNames {
+		RegisterWorkload(&synthWorkload{key: name, topo: topos[i]})
+	}
+	RegisterWorkload(&synthWorkload{key: "synth:diamond", topo: diamondTopology()})
+
+	// The ONNX model graphs. The tiny/full pairs carry Table 2's PE sweeps
+	// (full) and their proportionally scaled quick counterparts (tiny); the
+	// graph IDs are the historical "model:<name>/<size>" cell addresses.
+	models := []struct {
+		key, family, gid string
+		pes              []int
+		build            func() (*core.TaskGraph, error)
+	}{
+		{"onnx:resnet", "Resnet-50", "model:Resnet-50/tiny",
+			[]int{64, 128, 192, 256},
+			func() (*core.TaskGraph, error) { return onnx.ResNet50(onnx.TinyResNet50()) }},
+		{"onnx:resnet-full", "Resnet-50", "model:Resnet-50/full",
+			[]int{512, 1024, 1536, 2048},
+			func() (*core.TaskGraph, error) { return onnx.ResNet50(onnx.FullResNet50()) }},
+		{"onnx:encoder", "Transformer encoder layer", "model:Transformer-encoder/tiny",
+			[]int{32, 64, 96, 128},
+			func() (*core.TaskGraph, error) { return onnx.TransformerEncoder(onnx.TinyEncoder()) }},
+		{"onnx:encoder-full", "Transformer encoder layer", "model:Transformer-encoder/full",
+			[]int{256, 512, 768, 1024, 2048},
+			func() (*core.TaskGraph, error) { return onnx.TransformerEncoder(onnx.BaseEncoder()) }},
+		{"onnx:vgg", "VGG-16", "model:VGG-16/tiny",
+			[]int{64, 128, 256},
+			func() (*core.TaskGraph, error) { return onnx.VGG(onnx.TinyVGG()) }},
+		{"onnx:vgg-full", "VGG-16", "model:VGG-16/full",
+			[]int{512, 1024, 2048},
+			func() (*core.TaskGraph, error) { return onnx.VGG(onnx.FullVGG16()) }},
+		{"onnx:mlp", "MLP", "model:MLP/tiny",
+			[]int{16, 32, 64},
+			func() (*core.TaskGraph, error) {
+				return onnx.MLP(onnx.MLPConfig{Batch: 64, Layers: []int64{256, 512, 512, 128, 10}})
+			}},
+	}
+	for _, m := range models {
+		RegisterWorkload(&modelWorkload{key: m.key, family: m.family, gid: m.gid, pes: m.pes, build: m.build})
+	}
+}
+
+func registerExperiments() {
+	sweepVariants := []string{VariantLTS, VariantRLX, VariantNSTR}
+	RegisterExperiment(Experiment{
+		Name: "fig10", Variants: sweepVariants,
+		Jobs: sweepSpecJobs(false),
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderFig10(w, set, s.Opt)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "fig11", Variants: sweepVariants,
+		Jobs: sweepSpecJobs(false),
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderFig11(w, set, s.Opt)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "fig12", Variants: []string{VariantFig12Str, VariantFig12CSDF},
+		Jobs: fig12Jobs,
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderFig12(w, set, s.Opt)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "fig13", Variants: sweepVariants, Simulates: true,
+		Jobs: sweepSpecJobs(true),
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderFig13(w, set, s.Opt)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "table2", Variants: []string{VariantTable2Str, VariantTable2NSTR}, ModelFlag: true,
+		Jobs: table2Jobs,
+		Render: func(w io.Writer, p *Plan, set *results.Set, s Spec) {
+			renderTable2(w, p, set, s.Full)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "ablation", Variants: []string{VariantAblationUnit}, Simulates: true,
+		Jobs: ablationJobs,
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderAblation(w, set, s.Opt)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "placement", Variants: []string{VariantPlacement},
+		Jobs: placementJobs,
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderPlacement(w, set, s.Opt)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "heft", Variants: []string{VariantHEFT, VariantLTS},
+		Jobs: heftJobs,
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderHEFT(w, set, s.Opt)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "pipeline", Variants: []string{VariantPipeline},
+		Jobs: pipelineJobs,
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderPipeline(w, set, s.Opt)
+		},
+	})
+}

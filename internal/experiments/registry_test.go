@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fakeVariant is a minimal registrable variant for registry tests.
+type fakeVariant struct {
+	name    string
+	metrics []string
+}
+
+func (v fakeVariant) Name() string      { return v.name }
+func (v fakeVariant) Metrics() []string { return v.metrics }
+func (v fakeVariant) Eval(*EvalContext, *core.TaskGraph, EvalParams) (map[string]float64, error) {
+	return map[string]float64{}, nil
+}
+
+func wantPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one containing %q)", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v, want one containing %q", r, substr)
+		}
+	}()
+	f()
+}
+
+// TestRegisterVariantRejectsDuplicates: a second registration under an
+// already-used name panics — two procedures sharing a name would silently
+// corrupt persistent caches.
+func TestRegisterVariantRejectsDuplicates(t *testing.T) {
+	wantPanic(t, "already registered", func() {
+		RegisterVariant(fakeVariant{name: VariantLTS, metrics: []string{"x"}})
+	})
+	wantPanic(t, "empty variant name", func() {
+		RegisterVariant(fakeVariant{metrics: []string{"x"}})
+	})
+	wantPanic(t, "no metrics", func() {
+		RegisterVariant(fakeVariant{name: "metricless"})
+	})
+}
+
+// TestRegisterWorkloadRejectsDuplicates: workload names address artifacts,
+// so re-registration panics.
+func TestRegisterWorkloadRejectsDuplicates(t *testing.T) {
+	wantPanic(t, "already registered", func() {
+		RegisterWorkload(&synthWorkload{key: "synth:chain", topo: Topologies()[0]})
+	})
+	wantPanic(t, "empty workload name", func() {
+		RegisterWorkload(&synthWorkload{topo: Topologies()[0]})
+	})
+}
+
+// TestRegisterExperimentRejectsBadWiring: duplicate names, missing hooks,
+// and undeclared variants are registration-time panics.
+func TestRegisterExperimentRejectsBadWiring(t *testing.T) {
+	ok, err := LookupExperiment("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPanic(t, "already registered", func() { RegisterExperiment(ok) })
+	wantPanic(t, "nil Jobs or Render", func() {
+		RegisterExperiment(Experiment{Name: "hookless"})
+	})
+	bad := ok
+	bad.Name = "bad-variants"
+	bad.Variants = []string{"no-such-variant"}
+	wantPanic(t, "unknown variant", func() { RegisterExperiment(bad) })
+}
+
+// TestLookupUnknownNames: every registry reports unknown names as errors,
+// and Compile surfaces them instead of silently dropping specs.
+func TestLookupUnknownNames(t *testing.T) {
+	if _, err := LookupVariant("no-such-variant"); err == nil || !strings.Contains(err.Error(), "unknown variant") {
+		t.Errorf("LookupVariant: %v", err)
+	}
+	if _, err := LookupWorkload("no-such-workload"); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("LookupWorkload: %v", err)
+	}
+	if _, err := LookupExperiment("no-such-experiment"); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("LookupExperiment: %v", err)
+	}
+	if _, err := Compile([]Spec{{Name: "no-such-experiment"}}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("Compile: %v", err)
+	}
+}
+
+// TestRegistriesAreConsistent: every experiment's declared variants are
+// registered and cover exactly the variants its compiled jobs dispatch to,
+// and every compiled job's graph can be addressed through the plan.
+func TestRegistriesAreConsistent(t *testing.T) {
+	for _, s := range allSpecs(2) {
+		e, err := LookupExperiment(s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		declared := map[string]bool{}
+		for _, vn := range e.Variants {
+			if _, err := LookupVariant(vn); err != nil {
+				t.Errorf("%s declares unregistered variant %q", s.Name, vn)
+			}
+			declared[vn] = true
+		}
+		used := map[string]bool{}
+		for _, j := range e.Jobs(s) {
+			used[j.Key.Variant] = true
+			if j.Key.Variant != j.Job.Variant {
+				t.Errorf("%s job %v: key variant %q != job variant %q", s.Name, j.Job, j.Key.Variant, j.Job.Variant)
+			}
+		}
+		for vn := range used {
+			if !declared[vn] {
+				t.Errorf("%s compiles jobs for undeclared variant %q", s.Name, vn)
+			}
+		}
+		for vn := range declared {
+			if !used[vn] {
+				t.Errorf("%s declares variant %q but compiles no jobs for it", s.Name, vn)
+			}
+		}
+	}
+}
+
+// TestSweepWorkloadsMatchTopologies: the registry's sweep workloads are the
+// figure families, in figure order, with identical graph IDs to the
+// topology-based addressing the renderers use.
+func TestSweepWorkloadsMatchTopologies(t *testing.T) {
+	topos := Topologies()
+	ws := SweepWorkloads()
+	if len(ws) != len(topos) {
+		t.Fatalf("%d sweep workloads, %d topologies", len(ws), len(topos))
+	}
+	opt := Quick()
+	for i, w := range ws {
+		if w.Family() != topos[i].Name {
+			t.Errorf("workload %d family %q, topology %q", i, w.Family(), topos[i].Name)
+		}
+		if got, want := w.GraphID(opt, 3), graphID(topos[i].Name, opt, 3); got != want {
+			t.Errorf("workload %s graph ID %q, want %q", w.Name(), got, want)
+		}
+		if w.Instances(opt) != opt.Graphs {
+			t.Errorf("workload %s instances %d, want %d", w.Name(), w.Instances(opt), opt.Graphs)
+		}
+	}
+}
+
+// TestModelWorkloadsBackTable2: the table2 view resolves from the registry
+// with the historical graph IDs, so existing artifacts and caches keep
+// addressing the same cells.
+func TestModelWorkloadsBackTable2(t *testing.T) {
+	for _, tc := range []struct {
+		full bool
+		gids []string
+	}{
+		{false, []string{"model:Resnet-50/tiny", "model:Transformer-encoder/tiny"}},
+		{true, []string{"model:Resnet-50/full", "model:Transformer-encoder/full"}},
+	} {
+		models := table2Models(tc.full)
+		if len(models) != len(tc.gids) {
+			t.Fatalf("full=%v: %d models", tc.full, len(models))
+		}
+		for i, m := range models {
+			if m.gid != tc.gids[i] {
+				t.Errorf("full=%v model %d gid %q, want %q", tc.full, i, m.gid, tc.gids[i])
+			}
+		}
+	}
+	// A registered model workload builds a real graph exactly once per ID.
+	w := mustWorkload("onnx:mlp")
+	tg, err := w.Build(Options{}, 0)
+	if err != nil || tg.Len() == 0 {
+		t.Fatalf("onnx:mlp build: %v (%d nodes)", err, tg.Len())
+	}
+}
+
+// TestVariantMetricsCoverProducedValues: run the full reduced plan and
+// check every produced cell's value names stay inside its variant's
+// declared metric keys — the invariant merges validate against.
+func TestVariantMetricsCoverProducedValues(t *testing.T) {
+	p, err := Compile(allSpecs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, rep := Runner{Workers: 4, measureFn: fixedMeasure}.RunPlan(p)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("%d failures", len(rep.Failures))
+	}
+	for _, c := range set.Cells() {
+		v, err := LookupVariant(c.Key.Variant)
+		if err != nil {
+			t.Fatalf("cell %s: %v", c.Key, err)
+		}
+		declared := map[string]bool{}
+		for _, m := range v.Metrics() {
+			declared[m] = true
+		}
+		for name := range c.Values {
+			if !declared[name] {
+				t.Errorf("cell %s carries undeclared value %q (variant %q declares %v)",
+					c.Key, name, c.Key.Variant, v.Metrics())
+			}
+		}
+	}
+}

@@ -15,23 +15,16 @@ import (
 // from shard artifacts, or replayed from the results cache, the bytes are
 // identical. Cells missing from the set (failed jobs, or a partial shard
 // rendered directly) are left out of the aggregates, exactly as the
-// sequential reference would have dropped them.
+// sequential reference would have dropped them. Each experiment's renderer
+// is resolved through the experiment registry; specs whose experiment is
+// unknown (impossible for a compiled plan) are skipped.
 func Render(w io.Writer, p *Plan, set *results.Set) {
 	for _, s := range p.Specs {
-		switch s.Name {
-		case "fig10":
-			renderFig10(w, set, s.Opt)
-		case "fig11":
-			renderFig11(w, set, s.Opt)
-		case "fig12":
-			renderFig12(w, set, s.Opt)
-		case "fig13":
-			renderFig13(w, set, s.Opt)
-		case "table2":
-			renderTable2(w, p, set, s.Full)
-		case "ablation":
-			renderAblation(w, set, s.Opt)
+		e, err := LookupExperiment(s.Name)
+		if err != nil {
+			continue
 		}
+		e.Render(w, p, set, s)
 	}
 }
 

@@ -196,15 +196,6 @@ func (c *GraphCache) Builds() int {
 	return c.builds
 }
 
-// workerState is the per-worker scratch: a reusable scheduler and simulator
-// so the hot paths allocate no per-run state, plus the engine's timing
-// seam for the measured experiments.
-type workerState struct {
-	sched   *schedule.Scheduler
-	sim     *desim.Scratch
-	measure func(func()) time.Duration
-}
-
 // runJobs executes the shard-eligible jobs on the worker pool and returns
 // the produced cells aligned with the job list (nil for skipped or failed
 // jobs) plus the run report. This is the single engine path behind Sweep
@@ -230,7 +221,7 @@ func (r Runner) runJobs(jobs []CellJob, graphs *GraphCache) ([]*results.Cell, Re
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := &workerState{sched: schedule.NewScheduler(), sim: desim.NewScratch(), measure: r.measure()}
+			ws := &EvalContext{Sched: schedule.NewScheduler(), Sim: desim.NewScratch(), measure: r.measure()}
 			for i := range idxCh {
 				t0 := time.Now()
 				cell, cached, err := r.runCellJob(jobs[i], graphs, ws)
@@ -286,9 +277,9 @@ func (r Runner) runJobs(jobs []CellJob, graphs *GraphCache) ([]*results.Cell, Re
 }
 
 // runCellJob executes one job: fetch (or build) the graph, consult the
-// persistent results cache, and only on a miss run the evaluation and
-// store its values.
-func (r Runner) runCellJob(job CellJob, graphs *GraphCache, ws *workerState) (*results.Cell, bool, error) {
+// persistent results cache, and only on a miss run the job's registered
+// variant and store its values.
+func (r Runner) runCellJob(job CellJob, graphs *GraphCache, ws *EvalContext) (*results.Cell, bool, error) {
 	if r.failHook != nil {
 		if err := r.failHook(job.Job); err != nil {
 			return nil, false, err
@@ -305,7 +296,7 @@ func (r Runner) runCellJob(job CellJob, graphs *GraphCache, ws *workerState) (*r
 		}
 	}
 
-	vals, err := job.eval(ws, tg, depth)
+	vals, err := job.variant.Eval(ws, tg, EvalParams{PEs: job.Job.PEs, Simulate: job.Job.Simulate, Depth: depth})
 	if err != nil {
 		return nil, false, err
 	}
@@ -361,37 +352,33 @@ func sweepPointsFromSet(set *results.Set, topo Topology, opt Options, simulate b
 	for i, p := range topo.PEs {
 		points[i].PEs = p
 	}
+	// One explicit fold per sweep variant, visited in the sequential loop's
+	// LTS/RLX/NSTR order; dispatch-by-name lives only in the Variant
+	// registry.
+	foldStreaming := func(pt *SweepPoint, v map[string]float64,
+		speedup, sslr, util, errs *[]float64) {
+		*speedup = append(*speedup, v["speedup"])
+		*sslr = append(*sslr, v["sslr"])
+		*util = append(*util, v["util"])
+		if simulate {
+			*errs = append(*errs, v["simerr"]*100)
+		}
+		if v["deadlock"] == 1 {
+			pt.Deadlocks++
+		}
+	}
 	for g := 0; g < opt.Graphs; g++ {
 		for i, p := range topo.PEs {
 			pt := &points[i]
-			for _, variant := range []string{VariantLTS, VariantRLX, VariantNSTR} {
-				cell, ok := set.Get(sweepKey(topo, opt, g, p, variant, simulate))
-				if !ok {
-					continue
-				}
-				v := cell.Values
-				switch variant {
-				case VariantLTS:
-					pt.SpeedupLTS = append(pt.SpeedupLTS, v["speedup"])
-					pt.SSLRLTS = append(pt.SSLRLTS, v["sslr"])
-					pt.UtilLTS = append(pt.UtilLTS, v["util"])
-					if simulate {
-						pt.ErrLTS = append(pt.ErrLTS, v["simerr"]*100)
-					}
-				case VariantRLX:
-					pt.SpeedupRLX = append(pt.SpeedupRLX, v["speedup"])
-					pt.SSLRRLX = append(pt.SSLRRLX, v["sslr"])
-					pt.UtilRLX = append(pt.UtilRLX, v["util"])
-					if simulate {
-						pt.ErrRLX = append(pt.ErrRLX, v["simerr"]*100)
-					}
-				case VariantNSTR:
-					pt.SpeedupNSTR = append(pt.SpeedupNSTR, v["speedup"])
-					pt.UtilNSTR = append(pt.UtilNSTR, v["util"])
-				}
-				if v["deadlock"] == 1 {
-					pt.Deadlocks++
-				}
+			if cell, ok := set.Get(sweepKey(topo, opt, g, p, VariantLTS, simulate)); ok {
+				foldStreaming(pt, cell.Values, &pt.SpeedupLTS, &pt.SSLRLTS, &pt.UtilLTS, &pt.ErrLTS)
+			}
+			if cell, ok := set.Get(sweepKey(topo, opt, g, p, VariantRLX, simulate)); ok {
+				foldStreaming(pt, cell.Values, &pt.SpeedupRLX, &pt.SSLRRLX, &pt.UtilRLX, &pt.ErrRLX)
+			}
+			if cell, ok := set.Get(sweepKey(topo, opt, g, p, VariantNSTR, simulate)); ok {
+				pt.SpeedupNSTR = append(pt.SpeedupNSTR, cell.Values["speedup"])
+				pt.UtilNSTR = append(pt.UtilNSTR, cell.Values["util"])
 			}
 		}
 	}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/desim"
+	"repro/internal/schedule"
+)
+
+// EvalContext is the per-worker evaluation state handed to every variant: a
+// reusable scheduler and simulator so the hot paths allocate no per-run
+// state, plus the engine's timing seam for the measured experiments.
+type EvalContext struct {
+	// Sched is the worker's scratch streaming scheduler (ST/FO/LO
+	// recurrences).
+	Sched *schedule.Scheduler
+	// Sim is the worker's scratch discrete-event simulator.
+	Sim *desim.Scratch
+	// measure times a region of an evaluation; tests inject a fixed clock to
+	// make the measured columns deterministic.
+	measure func(func()) time.Duration
+}
+
+// NewEvalContext returns a context with fresh scratch state and a wall-clock
+// measurement, for callers evaluating variants outside the Runner.
+func NewEvalContext() *EvalContext {
+	return &EvalContext{
+		Sched: schedule.NewScheduler(),
+		Sim:   desim.NewScratch(),
+		measure: func(f func()) time.Duration {
+			t0 := time.Now()
+			f()
+			return time.Since(t0)
+		},
+	}
+}
+
+// Measure runs f and reports how long it took on this worker's clock.
+func (c *EvalContext) Measure(f func()) time.Duration { return c.measure(f) }
+
+// EvalParams selects how a variant evaluates one graph: the PE count, whether
+// the Appendix B discrete-event validation also runs, and the precomputed
+// streaming depth of the graph (shared by every SSLR sample).
+type EvalParams struct {
+	PEs      int
+	Simulate bool
+	Depth    float64
+}
+
+// Variant is one registered evaluation procedure: given a frozen task graph
+// and parameters, it produces the named float64 values of a results.Cell.
+// A variant's name addresses its cells in shard artifacts and the results
+// cache, so evaluation arithmetic must never change under a fixed name —
+// changing it requires a new name (and a results.SchemaVersion bump, see
+// docs/ARTIFACTS.md).
+//
+// Variants must be stateless (or internally synchronized): one instance is
+// shared by every worker goroutine. Per-evaluation scratch belongs on the
+// EvalContext.
+type Variant interface {
+	// Name is the registry key and the CellKey.Variant value.
+	Name() string
+	// Metrics declares every value name cells of this variant may carry.
+	// Cells may carry a subset (e.g. simulation errors only when Simulate),
+	// never a value outside this list — merges validate against it.
+	Metrics() []string
+	// Eval runs the procedure on one graph.
+	Eval(ctx *EvalContext, tg *core.TaskGraph, p EvalParams) (map[string]float64, error)
+}
+
+// variantRegistry holds the registered variants; registration happens in
+// this package's init, so lookups are read-only afterwards and need no lock.
+var (
+	variantRegistry = map[string]Variant{}
+	variantOrder    []string
+)
+
+// RegisterVariant adds a variant to the registry. It panics on an empty name,
+// a nil metric list, or a duplicate registration: variants address persistent
+// artifacts, so two procedures under one name would silently corrupt caches.
+func RegisterVariant(v Variant) {
+	name := v.Name()
+	if name == "" {
+		panic("experiments: RegisterVariant: empty variant name")
+	}
+	if len(v.Metrics()) == 0 {
+		panic(fmt.Sprintf("experiments: RegisterVariant(%q): variant declares no metrics", name))
+	}
+	if _, dup := variantRegistry[name]; dup {
+		panic(fmt.Sprintf("experiments: RegisterVariant(%q): already registered", name))
+	}
+	variantRegistry[name] = v
+	variantOrder = append(variantOrder, name)
+}
+
+// LookupVariant returns the registered variant with the given name.
+func LookupVariant(name string) (Variant, error) {
+	v, ok := variantRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown variant %q (see -list-variants)", name)
+	}
+	return v, nil
+}
+
+// mustVariant is LookupVariant for compile paths whose names are registered
+// by this package itself.
+func mustVariant(name string) Variant {
+	v, err := LookupVariant(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// VariantNames returns every registered variant name, sorted.
+func VariantNames() []string {
+	names := append([]string(nil), variantOrder...)
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Workload is one named source of task graphs: a synthetic random family
+// (internal/synth), a static ONNX model graph (internal/onnx), or any future
+// scenario. Workloads feed the same Spec → Plan → CellJob pipeline: their
+// GraphIDs address cells in shard artifacts, their builders are memoized by
+// the GraphCache, and the content fingerprint of the built graph keys the
+// persistent results cache — so a new workload inherits sharding, merging,
+// and caching for free.
+type Workload interface {
+	// Name is the registry key, e.g. "synth:fft" or "onnx:resnet".
+	Name() string
+	// Family is the display name used in Job identities and table headers,
+	// e.g. "FFT" or "Resnet-50".
+	Family() string
+	// Instances is how many distinct graphs a run with opt generates
+	// (1 for static model graphs).
+	Instances(opt Options) int
+	// GraphID names instance g for cell keys and graph caching; it must be
+	// unique across every workload and option set that can share a plan.
+	GraphID(opt Options, g int) string
+	// Build constructs instance g. Construction of a generated instance is
+	// deterministic in (opt, g).
+	Build(opt Options, g int) (*core.TaskGraph, error)
+	// PEs is the PE sweep the workload is evaluated at.
+	PEs() []int
+}
+
+// workloadRegistry holds the registered workloads; registration happens in
+// this package's init, so lookups are read-only afterwards and need no lock.
+var (
+	workloadRegistry = map[string]Workload{}
+	workloadOrder    []string
+)
+
+// RegisterWorkload adds a workload to the registry, panicking on an empty
+// name or a duplicate registration: workload graph IDs address persistent
+// artifacts, so two sources under one name would silently corrupt them.
+func RegisterWorkload(w Workload) {
+	name := w.Name()
+	if name == "" {
+		panic("experiments: RegisterWorkload: empty workload name")
+	}
+	if _, dup := workloadRegistry[name]; dup {
+		panic(fmt.Sprintf("experiments: RegisterWorkload(%q): already registered", name))
+	}
+	workloadRegistry[name] = w
+	workloadOrder = append(workloadOrder, name)
+}
+
+// LookupWorkload returns the registered workload with the given name.
+func LookupWorkload(name string) (Workload, error) {
+	w, ok := workloadRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (see -list-variants)", name)
+	}
+	return w, nil
+}
+
+// mustWorkload is LookupWorkload for compile paths whose names are
+// registered by this package itself.
+func mustWorkload(name string) Workload {
+	w, err := LookupWorkload(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// WorkloadNames returns every registered workload name, sorted.
+func WorkloadNames() []string {
+	names := append([]string(nil), workloadOrder...)
+	sort.Strings(names)
+	return names
+}
+
+// sweepWorkloadNames lists the synthetic sweep families in the canonical
+// order of the paper's figures; SweepWorkloads resolves them.
+var sweepWorkloadNames = []string{"synth:chain", "synth:fft", "synth:gaussian", "synth:cholesky"}
+
+// SweepWorkloads returns the four synthetic families of the Figure 10-13
+// sweeps, in figure order.
+func SweepWorkloads() []Workload {
+	ws := make([]Workload, len(sweepWorkloadNames))
+	for i, name := range sweepWorkloadNames {
+		ws[i] = mustWorkload(name)
+	}
+	return ws
+}
+
+// mustBuildWorkload adapts a workload instance to the infallible builder the
+// GraphCache expects. Synthetic generators cannot fail; a static model graph
+// failing to build is a bug in its fixed configuration.
+func mustBuildWorkload(w Workload, opt Options, g int) func() *core.TaskGraph {
+	return func() *core.TaskGraph {
+		tg, err := w.Build(opt, g)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: building workload %s instance %d: %v", w.Name(), g, err))
+		}
+		return tg
+	}
+}
+
+// synthWorkload adapts one Topology (a seeded random family) to the workload
+// registry. Instance g of a run is built from seed opt.Seed+g, exactly as
+// the sequential references do.
+type synthWorkload struct {
+	key  string
+	topo Topology
+}
+
+func (w *synthWorkload) Name() string              { return w.key }
+func (w *synthWorkload) Family() string            { return w.topo.Name }
+func (w *synthWorkload) Instances(opt Options) int { return opt.Graphs }
+func (w *synthWorkload) PEs() []int                { return w.topo.PEs }
+
+func (w *synthWorkload) GraphID(opt Options, g int) string {
+	return graphID(w.topo.Name, opt, g)
+}
+
+func (w *synthWorkload) Build(opt Options, g int) (*core.TaskGraph, error) {
+	return w.topo.Build(newRng(opt.Seed+int64(g)), opt.Config), nil
+}
+
+// modelWorkload adapts one static ONNX model graph. The graph is a pure
+// function of its fixed configuration, so there is exactly one instance and
+// options do not enter the graph ID.
+type modelWorkload struct {
+	key    string
+	family string
+	gid    string
+	pes    []int
+	build  func() (*core.TaskGraph, error)
+}
+
+func (w *modelWorkload) Name() string                { return w.key }
+func (w *modelWorkload) Family() string              { return w.family }
+func (w *modelWorkload) Instances(Options) int       { return 1 }
+func (w *modelWorkload) PEs() []int                  { return w.pes }
+func (w *modelWorkload) GraphID(Options, int) string { return w.gid }
+func (w *modelWorkload) Build(Options, int) (*core.TaskGraph, error) {
+	return w.build()
+}

@@ -114,10 +114,24 @@ type Cost struct {
 	// MaxLinkLoad is the largest traffic volume crossing any single mesh
 	// link under XY routing. With contention-free NoC assumptions the
 	// schedule is valid as long as each link's load fits its capacity; the
-	// congestion factor MaxLinkLoad / maxEdgeVolume bounds the slowdown.
+	// congestion factor MaxLinkLoad / MaxEdgeVolume bounds the slowdown.
 	MaxLinkLoad float64
+	// MaxEdgeVolume is the largest single streaming-edge volume among the
+	// placed edges — the load a link carries when it serves exactly one
+	// edge, i.e. the contention-free reference for CongestionFactor.
+	MaxEdgeVolume float64
 	// AvgHops is the volume-weighted mean hop count of streaming edges.
 	AvgHops float64
+}
+
+// CongestionFactor is how many times over its contention-free load the
+// busiest link is subscribed: MaxLinkLoad / MaxEdgeVolume, at least 1. A
+// placement with no streaming traffic has factor 1 (no slowdown).
+func (c Cost) CongestionFactor() float64 {
+	if c.MaxEdgeVolume <= 0 || c.MaxLinkLoad <= c.MaxEdgeVolume {
+		return 1
+	}
+	return c.MaxLinkLoad / c.MaxEdgeVolume
 }
 
 // blockEdges lists the streaming edges inside the placed block with their
@@ -154,6 +168,12 @@ func Evaluate(t *core.TaskGraph, r *schedule.Result, p Placement) Cost {
 		}
 		hops := float64(p.Mesh.Hops(a, b))
 		vol := float64(e.Volume)
+		// Only edges that traverse links enter the contention-free
+		// reference; a zero-hop edge (possible only in hand-built
+		// placements — Greedy/Anneal keep task→PE injective) loads no link.
+		if hops > 0 && vol > c.MaxEdgeVolume {
+			c.MaxEdgeVolume = vol
+		}
 		c.TotalHopVolume += vol * hops
 		c.AvgHops += vol * hops
 		totalVol += vol
@@ -293,8 +313,12 @@ func Anneal(t *core.TaskGraph, r *schedule.Result, p Placement, iters int, rng *
 
 // PlaceAll places every spatial block of a schedule on the mesh (blocks are
 // temporally multiplexed, so each block reuses the whole device) and returns
-// the per-block placements with their costs after annealing.
-func PlaceAll(t *core.TaskGraph, r *schedule.Result, mesh Mesh, annealIters int, rng *rand.Rand) ([]Placement, []Cost, error) {
+// the per-block placements with their costs after annealing. The seed fully
+// determines the annealer's random choices: two calls with equal inputs
+// return identical placements, which is what lets placement results be
+// cached and compared across processes.
+func PlaceAll(t *core.TaskGraph, r *schedule.Result, mesh Mesh, annealIters int, seed int64) ([]Placement, []Cost, error) {
+	rng := rand.New(rand.NewSource(seed))
 	var ps []Placement
 	var cs []Cost
 	for b := range r.Partition.Blocks {

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -152,7 +153,7 @@ func TestAnnealImprovesBadPlacement(t *testing.T) {
 func TestPlaceAllCoversBlocks(t *testing.T) {
 	tg, res := scheduled(t, 4, 8)
 	mesh := NewMesh(8)
-	ps, cs, err := PlaceAll(tg, res, mesh, 500, rand.New(rand.NewSource(1)))
+	ps, cs, err := PlaceAll(tg, res, mesh, 500, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,6 +164,42 @@ func TestPlaceAllCoversBlocks(t *testing.T) {
 		if c.TotalHopVolume < 0 || c.MaxLinkLoad < 0 {
 			t.Errorf("block %d: negative cost %+v", i, c)
 		}
+	}
+}
+
+// TestPlaceAllDeterministic: equal inputs and seed give identical
+// placements and costs — the property that makes placement cells cacheable
+// and shard-mergeable.
+func TestPlaceAllDeterministic(t *testing.T) {
+	tg, res := scheduled(t, 5, 16)
+	mesh := NewMesh(16)
+	ps1, cs1, err := PlaceAll(tg, res, mesh, 800, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2, cs2, err := PlaceAll(tg, res, mesh, 800, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cs1, cs2) {
+		t.Errorf("costs differ across identical runs:\n%+v\n%+v", cs1, cs2)
+	}
+	if !reflect.DeepEqual(ps1, ps2) {
+		t.Error("placements differ across identical runs")
+	}
+}
+
+// TestCongestionFactor: at least 1, and exactly the oversubscription of the
+// busiest link when edges share links.
+func TestCongestionFactor(t *testing.T) {
+	if got := (Cost{}).CongestionFactor(); got != 1 {
+		t.Errorf("empty cost congestion %g, want 1", got)
+	}
+	if got := (Cost{MaxLinkLoad: 10, MaxEdgeVolume: 10}).CongestionFactor(); got != 1 {
+		t.Errorf("single-edge-link congestion %g, want 1", got)
+	}
+	if got := (Cost{MaxLinkLoad: 30, MaxEdgeVolume: 10}).CongestionFactor(); got != 3 {
+		t.Errorf("congestion %g, want 3", got)
 	}
 }
 

@@ -28,6 +28,12 @@ type ExpMeta struct {
 // shard of the compiled job list this artifact holds.
 type Meta struct {
 	Experiments []ExpMeta `json:"experiments"`
+	// Variants maps each evaluation procedure the run's experiments dispatch
+	// to onto the value names its cells may carry, as declared by the
+	// variant registry. A merge rejects cells carrying values outside their
+	// variant's declaration — a cheap end-to-end check that a shard was
+	// produced by the same evaluation code.
+	Variants map[string][]string `json:"variants,omitempty"`
 	// ShardIndex/ShardCount locate this artifact in a sharded run; an
 	// unsharded run writes shard 0 of 1.
 	ShardIndex int `json:"shard_index"`
@@ -121,6 +127,9 @@ func Merge(arts []*Artifact) (*Set, Meta, error) {
 	set := NewSet()
 	for _, a := range sorted {
 		for _, c := range a.Cells {
+			if err := validateCellMetrics(ref.Variants, c); err != nil {
+				return nil, Meta{}, fmt.Errorf("shard %d: %w", a.Meta.ShardIndex, err)
+			}
 			if err := set.Add(c); err != nil {
 				return nil, Meta{}, fmt.Errorf("shard %d: %w", a.Meta.ShardIndex, err)
 			}
@@ -129,6 +138,35 @@ func Merge(arts []*Artifact) (*Set, Meta, error) {
 	merged := ref
 	merged.ShardIndex, merged.ShardCount = 0, 1
 	return set, merged, nil
+}
+
+// validateCellMetrics checks a cell against the run's variant declarations:
+// its variant must be declared and every value name must be among the
+// variant's metric keys. Artifacts without declarations (hand-rolled or
+// produced before the metadata carried them) skip the check.
+func validateCellMetrics(declared map[string][]string, c Cell) error {
+	if len(declared) == 0 {
+		return nil
+	}
+	metrics, ok := declared[c.Key.Variant]
+	if !ok {
+		return fmt.Errorf("results: cell %s uses variant %q, which the run metadata does not declare",
+			c.Key, c.Key.Variant)
+	}
+	for name := range c.Values {
+		found := false
+		for _, m := range metrics {
+			if m == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("results: cell %s carries value %q, outside variant %q's declared metrics %v",
+				c.Key, name, c.Key.Variant, metrics)
+		}
+	}
+	return nil
 }
 
 // metaCompatible reports whether two shards came from the same run: equal

@@ -1,6 +1,7 @@
 package results
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -70,16 +71,17 @@ func TestReadArtifactRejects(t *testing.T) {
 	if _, err := ReadArtifactFile(filepath.Join(dir, "absent.json")); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, err := ReadArtifactFile(write("corrupt.json", `{"schema": 1, "cells": [`)); err == nil {
+	v := fmt.Sprint(SchemaVersion)
+	if _, err := ReadArtifactFile(write("corrupt.json", `{"schema": `+v+`, "cells": [`)); err == nil {
 		t.Error("corrupt JSON accepted")
 	}
 	if _, err := ReadArtifactFile(write("vers.json", `{"schema": 99, "meta": {"experiments": [{"name": "fig10"}], "shard_index": 0, "shard_count": 1}}`)); err == nil || !strings.Contains(err.Error(), "schema version") {
 		t.Errorf("foreign schema accepted: %v", err)
 	}
-	if _, err := ReadArtifactFile(write("shard.json", `{"schema": 1, "meta": {"experiments": [{"name": "fig10"}], "shard_index": 3, "shard_count": 2}}`)); err == nil {
+	if _, err := ReadArtifactFile(write("shard.json", `{"schema": `+v+`, "meta": {"experiments": [{"name": "fig10"}], "shard_index": 3, "shard_count": 2}}`)); err == nil {
 		t.Error("out-of-range shard accepted")
 	}
-	if _, err := ReadArtifactFile(write("noexp.json", `{"schema": 1, "meta": {"experiments": [], "shard_index": 0, "shard_count": 1}}`)); err == nil {
+	if _, err := ReadArtifactFile(write("noexp.json", `{"schema": `+v+`, "meta": {"experiments": [], "shard_index": 0, "shard_count": 1}}`)); err == nil {
 		t.Error("experiment-less artifact accepted")
 	}
 }

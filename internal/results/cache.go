@@ -5,8 +5,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 )
 
 // Cache is the persistent, content-addressed results cache. Each entry is
@@ -63,30 +66,140 @@ func (c *Cache) Get(k CellKey) (Cell, bool) {
 // Put stores a cell under its content key, atomically replacing any
 // existing entry.
 func (c *Cache) Put(cell Cell) error {
-	path := c.path(cell.Key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("results: cache put: %w", err)
-	}
 	data, err := json.MarshalIndent(cell, "", "  ")
 	if err != nil {
 		return fmt.Errorf("results: cache put: encoding cell: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".cell-*")
-	if err != nil {
-		return fmt.Errorf("results: cache put: %w", err)
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: cache put: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: cache put: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := writeFileAtomic(c.path(cell.Key), append(data, '\n')); err != nil {
 		return fmt.Errorf("results: cache put: %w", err)
 	}
 	return nil
+}
+
+// writeFileAtomic writes data via a temp file + rename, creating the parent
+// directory if needed, so concurrent writers never expose partial files.
+func writeFileAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cell-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// RunCounters records how one engine run interacted with the cache.
+type RunCounters struct {
+	// Hits is how many cells the run served from the cache; Misses is how
+	// many it computed (and stored).
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// When is the wall-clock time the run recorded its counters.
+	When time.Time `json:"when"`
+}
+
+// lastRunFile is the counter file RecordRun maintains in the versioned
+// cache root. It is metadata, not an entry: Stats and GC skip it.
+const lastRunFile = "last_run.json"
+
+// RecordRun persists the hit/miss counters of the run that just finished,
+// so `-cache-stats` can report them from a later process.
+func (c *Cache) RecordRun(rc RunCounters) error {
+	data, err := json.MarshalIndent(rc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: cache record: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(c.dir, lastRunFile), append(data, '\n')); err != nil {
+		return fmt.Errorf("results: cache record: %w", err)
+	}
+	return nil
+}
+
+// CacheStats summarizes the on-disk state of a cache directory.
+type CacheStats struct {
+	// Entries is the number of stored cells; Bytes their total size.
+	Entries int
+	Bytes   int64
+	// LastRun holds the counters of the most recent run that recorded them
+	// (nil if no run has).
+	LastRun *RunCounters
+}
+
+// isEntry reports whether a walked file is a cell entry (as opposed to the
+// counter file or a leftover temp file from an interrupted atomic write).
+func isEntry(name string) bool {
+	return strings.HasSuffix(name, ".json") && !strings.HasPrefix(name, ".") && name != lastRunFile
+}
+
+// Stats walks the versioned cache directory and reports entry count, total
+// bytes, and the last recorded run counters.
+func (c *Cache) Stats() (CacheStats, error) {
+	var st CacheStats
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !isEntry(d.Name()) {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		st.Entries++
+		st.Bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return CacheStats{}, fmt.Errorf("results: cache stats: %w", err)
+	}
+	if data, err := os.ReadFile(filepath.Join(c.dir, lastRunFile)); err == nil {
+		var rc RunCounters
+		if json.Unmarshal(data, &rc) == nil {
+			st.LastRun = &rc
+		}
+	}
+	return st, nil
+}
+
+// GC deletes every entry whose file is older than maxAge (by modification
+// time — entries are written once and never touched again, so that is their
+// creation time) and returns how many entries were removed and how many
+// bytes were freed. Concurrent runs may race a GC; a run whose entry is
+// collected underneath it simply recomputes the cell.
+func (c *Cache) GC(maxAge time.Duration) (removed int, freed int64, err error) {
+	cutoff := time.Now().Add(-maxAge)
+	err = filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !isEntry(d.Name()) {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		if info.ModTime().After(cutoff) {
+			return nil
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		removed++
+		freed += info.Size()
+		return nil
+	})
+	if err != nil {
+		return removed, freed, fmt.Errorf("results: cache gc: %w", err)
+	}
+	return removed, freed, nil
 }

@@ -31,8 +31,10 @@ import (
 
 // SchemaVersion is the artifact and cache schema version. Readers reject
 // files written with any other version; see docs/ARTIFACTS.md for the
-// compatibility policy.
-const SchemaVersion = 1
+// compatibility policy. Version 2 added the Meta.Variants map of
+// variant-declared metric keys (and, with it, the placement/HEFT/pipeline
+// variants).
+const SchemaVersion = 2
 
 // CellKey addresses one unit of computed experiment data.
 type CellKey struct {

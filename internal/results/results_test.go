@@ -1,6 +1,7 @@
 package results
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -162,7 +163,7 @@ func TestCacheVersioned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := cache.Dir(), filepath.Join(dir, "v1"); got != want {
+	if got, want := cache.Dir(), filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion)); got != want {
 		t.Errorf("cache dir %q, want %q", got, want)
 	}
 }
