@@ -6,6 +6,9 @@
 //	            [-quick] [-full-models] [-workers N] [-shard i/n] [-out shard.json]
 //	            [-cache dir] [-report]
 //	experiments -merge a.json b.json ...
+//	experiments -serve addr [-lease-timeout d] [-batch N] [-out merged.json] [spec flags]
+//	experiments -agent http://host:port [-worker-id name] [-workers N] [-cache dir]
+//	experiments -status http://host:port
 //	experiments -list-variants
 //	experiments -cache dir -cache-stats
 //	experiments -cache dir -cache-gc 168h
@@ -31,15 +34,27 @@
 // report and prune it. -report summarizes jobs, timings, and cache hits on
 // stderr. A run whose jobs partly failed still writes its output but exits
 // nonzero.
+//
+// Instead of picking shards by hand, a run can self-schedule across
+// machines (see docs/DISTRIBUTED.md): -serve starts an HTTP job-queue
+// coordinator that leases job batches to pull-based workers, requeues the
+// batches of workers that die, and — once every job is resolved — writes
+// the merged artifact (-out) or renders the tables, byte-identical to an
+// unsharded local run. -agent joins a coordinator as a worker, reusing the
+// local worker pool (-workers) and the persistent results cache (-cache).
+// -status prints a coordinator's progress/failure report as JSON.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/distrib"
 	"repro/internal/experiments"
 	"repro/internal/results"
 )
@@ -59,6 +74,12 @@ func main() {
 	merge := flag.Bool("merge", false, "merge the shard artifacts given as arguments and render their tables")
 	report := flag.Bool("report", false, "print a job/timing/cache summary to stderr")
 	listVariants := flag.Bool("list-variants", false, "list the registered experiments, variants, and workloads, then exit")
+	serve := flag.String("serve", "", "serve the run as a distributed-sweep coordinator on this address (e.g. :8077), then write -out or render tables")
+	agent := flag.String("agent", "", "join the coordinator at this URL as a pull-based worker")
+	workerID := flag.String("worker-id", "", "worker name reported to the coordinator (default host-pid)")
+	leaseTimeout := flag.Duration("lease-timeout", distrib.DefaultLeaseTimeout, "with -serve: requeue a leased batch not completed within this duration")
+	batch := flag.Int("batch", distrib.DefaultBatchSize, "with -serve: jobs granted per lease")
+	status := flag.String("status", "", "print the status JSON of the coordinator at this URL, then exit")
 	flag.Parse()
 
 	explicit := map[string]bool{}
@@ -66,6 +87,7 @@ func main() {
 
 	if err := run(*exp, *graphs, *seed, *quick, *fullModels, *workers, *shard,
 		*out, *cacheDir, *cacheStats, *cacheGC, *merge, *report, *listVariants,
+		*serve, *agent, *workerID, *leaseTimeout, *batch, *status,
 		explicit, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
@@ -74,10 +96,41 @@ func main() {
 
 func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int,
 	shard, out, cacheDir string, cacheStats bool, cacheGC time.Duration,
-	merge, report, listVariants bool, explicit map[string]bool, args []string) error {
+	merge, report, listVariants bool,
+	serve, agent, workerID string, leaseTimeout time.Duration, batch int, status string,
+	explicit map[string]bool, args []string) error {
 
 	if listVariants {
 		return runListVariants(os.Stdout)
+	}
+	if status != "" {
+		for name := range explicit {
+			if name != "status" {
+				return fmt.Errorf("-%s has no effect with -status", name)
+			}
+		}
+		return runStatus(status)
+	}
+	if agent != "" {
+		for name := range explicit {
+			switch name {
+			case "agent", "workers", "cache", "worker-id":
+			default:
+				return fmt.Errorf("-%s has no effect with -agent (the coordinator defines the run)", name)
+			}
+		}
+		return runAgent(agent, workerID, workers, cacheDir)
+	}
+	if serve != "" {
+		for name := range explicit {
+			switch name {
+			case "serve", "exp", "graphs", "seed", "quick", "full-models",
+				"lease-timeout", "batch", "out":
+			default:
+				return fmt.Errorf("-%s has no effect with -serve (workers run in -agent processes)", name)
+			}
+		}
+		return runServe(serve, exp, graphs, seed, quick, fullModels, leaseTimeout, batch, out)
 	}
 	if merge {
 		// Merge mode takes its entire configuration from the artifacts'
@@ -104,16 +157,7 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 		return fmt.Errorf("unexpected arguments %q (artifact files go with -merge)", args)
 	}
 
-	opt := experiments.Defaults()
-	if quick {
-		opt = experiments.Quick()
-	}
-	if graphs > 0 {
-		opt.Graphs = graphs
-	}
-	opt.Seed = seed
-
-	specs, err := buildSpecs(exp, opt, quick, fullModels)
+	specs, err := specsFromFlags(exp, graphs, seed, quick, fullModels)
 	if err != nil {
 		return err
 	}
@@ -181,6 +225,20 @@ func failedJobsError(failed, jobs int) error {
 		return nil
 	}
 	return fmt.Errorf("%d of %d jobs failed; output is incomplete", failed, jobs)
+}
+
+// specsFromFlags turns the spec-selecting flags into the experiment specs a
+// local run, a -serve coordinator, and the e2e tests all agree on.
+func specsFromFlags(exp string, graphs int, seed int64, quick, fullModels bool) ([]experiments.Spec, error) {
+	opt := experiments.Defaults()
+	if quick {
+		opt = experiments.Quick()
+	}
+	if graphs > 0 {
+		opt.Graphs = graphs
+	}
+	opt.Seed = seed
+	return buildSpecs(exp, opt, quick, fullModels)
 }
 
 // buildSpecs selects the experiments to run, in canonical order; exp is
@@ -338,4 +396,79 @@ func runMerge(files []string) error {
 	experiments.ReportArtifactFailures(os.Stderr, failed)
 	experiments.Render(os.Stdout, plan, set)
 	return failedJobsError(len(failed), len(plan.Jobs))
+}
+
+// runServe compiles the selected experiments and serves them as a
+// distributed-sweep coordinator until every cell job is resolved by -agent
+// workers, then writes the merged artifact (-out) or renders the tables —
+// either way byte-identical to an unsharded local run of the same flags
+// (docs/DISTRIBUTED.md).
+func runServe(addr, exp string, graphs int, seed int64, quick, fullModels bool,
+	leaseTimeout time.Duration, batch int, out string) error {
+
+	specs, err := specsFromFlags(exp, graphs, seed, quick, fullModels)
+	if err != nil {
+		return err
+	}
+	coord, err := distrib.NewCoordinator(specs, distrib.CoordinatorOptions{
+		LeaseTimeout: leaseTimeout,
+		BatchSize:    batch,
+	})
+	if err != nil {
+		return err
+	}
+	if err := coord.Serve(addr, os.Stderr); err != nil {
+		return err
+	}
+
+	art := coord.Artifact()
+	experiments.ReportArtifactFailures(os.Stderr, art.Failures)
+	if out != "" {
+		if err := art.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d cells to %s (merged distributed run)\n", len(art.Cells), out)
+		return failedJobsError(len(art.Failures), len(coord.Plan().Jobs))
+	}
+	set := results.NewSet()
+	for _, c := range art.Cells {
+		if err := set.Add(c); err != nil {
+			return err
+		}
+	}
+	experiments.Render(os.Stdout, coord.Plan(), set)
+	return failedJobsError(len(art.Failures), len(coord.Plan().Jobs))
+}
+
+// runAgent joins a coordinator as a pull-based worker until the run is
+// done. The coordinator defines the experiments; only the local execution
+// knobs (-workers, -cache, -worker-id) apply here.
+func runAgent(url, workerID string, workers int, cacheDir string) error {
+	a := &distrib.Agent{URL: url, Worker: workerID, Workers: workers}
+	if cacheDir != "" {
+		cache, err := results.OpenCache(cacheDir)
+		if err != nil {
+			return err
+		}
+		a.Cache = cache
+	}
+	rep, err := a.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of this agent's %d jobs failed (the coordinator recorded them)", rep.Failed, rep.Jobs)
+	}
+	return nil
+}
+
+// runStatus fetches and pretty-prints a coordinator's /v1/status report.
+func runStatus(url string) error {
+	st, err := distrib.FetchStatus(context.Background(), nil, url)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
 }

@@ -1,0 +1,121 @@
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target); reference-style
+// links are not used in this repository's docs.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// docFiles returns README.md and every docs/*.md file.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	matches, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, matches...)
+}
+
+// TestDocLinks verifies that every relative link in README.md and docs/*.md
+// resolves to a file that exists, and that every heading anchor referenced
+// within the repo's own documents exists in the target document. CI runs it
+// so cross-references between the docs cannot rot.
+func TestDocLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external; reachability is not this test's business
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", file, target, err)
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !hasAnchor(t, resolved, frag) {
+					t.Errorf("%s: link %q: no heading in %s produces anchor #%s", file, target, resolved, frag)
+				}
+			}
+		}
+	}
+}
+
+// hasAnchor reports whether a markdown file contains a heading whose
+// GitHub-style anchor equals frag.
+func hasAnchor(t *testing.T, file, frag string) bool {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("reading %s: %v", file, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		if headingAnchor(line) == strings.ToLower(frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// headingAnchor converts "## Some Heading!" into GitHub's "some-heading"
+// anchor form: lowercase, punctuation dropped, spaces to hyphens.
+func headingAnchor(line string) string {
+	text := strings.TrimLeft(line, "#")
+	text = strings.TrimSpace(text)
+	// Strip inline code and emphasis markers, which GitHub omits from
+	// anchors, before the character filter.
+	text = strings.NewReplacer("`", "", "*", "").Replace(text)
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// TestDocsMentionEveryInternalPackage keeps the architecture map honest:
+// every package under internal/ must appear in docs/ARCHITECTURE.md, so a
+// new subsystem cannot land undocumented.
+func TestDocsMentionEveryInternalPackage(t *testing.T) {
+	arch, err := os.ReadFile(filepath.Join("docs", "ARCHITECTURE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(arch), fmt.Sprintf("internal/%s", e.Name())) &&
+			!strings.Contains(string(arch), fmt.Sprintf("`%s`", e.Name())) {
+			t.Errorf("docs/ARCHITECTURE.md does not mention internal/%s", e.Name())
+		}
+	}
+}

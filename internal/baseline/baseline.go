@@ -4,6 +4,12 @@
 // (in the spirit of CP/MISF) and insertion-slot placement. All
 // communications are buffered: a task can only start once every predecessor
 // has finished, and it runs for its full work W(v) = max{I(v), O(v)}.
+//
+// The entry point is Schedule (frozen graph, PE count, Options) returning
+// a Result with per-task assignments, makespan, and the Speedup/SLR/
+// Utilization accessors the NSTR cells report. Scheduling is fully
+// deterministic — priorities break ties by node ID — so baseline cells are
+// cacheable by graph content like every other variant's.
 package baseline
 
 import (

@@ -11,6 +11,12 @@
 // required space is the extra delay data experiences on the slowest sibling
 // path, divided by the production interval of u (Equation 5), capped by the
 // edge's total data volume.
+//
+// Entry points: SizeMap returns the per-edge FIFO capacities for a
+// schedule (what desim.Config consumes and the ablation compares against
+// unit FIFOs); Sizes exposes the per-edge derivation. Sizing is a pure
+// function of the frozen graph and its schedule — no randomness, no
+// state — so sized simulations are reproducible and cacheable.
 package buffers
 
 import (

@@ -10,6 +10,16 @@
 // downsamplers R < 1, upsamplers R > 1. Buffer nodes store all their input
 // before emitting it (pipelining cannot cross them); source and sink nodes
 // read from and write to global memory.
+//
+// Entry points: New then AddSource/AddCompute/AddElementWise/AddBuffer/
+// AddSink and Connect to build, Freeze to validate (canonicity, acyclicity,
+// finite volumes) — after which the graph is immutable and safe to share
+// across goroutines, which is what lets the experiment engine memoize one
+// instance per graph ID. EncodeJSON/DecodeJSON give the canonical codec:
+// the encoding is byte-stable for a frozen graph, so its hash
+// (results.Fingerprint) content-addresses cells in the persistent cache.
+// StreamingIntervals, Levels, Work, and StreamingDepth expose the Section 4
+// steady-state analysis.
 package core
 
 import (

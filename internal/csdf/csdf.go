@@ -13,6 +13,13 @@
 // (1,1) phase, a downsampler with rate 1/d gets d phases consuming one token
 // each and producing only on the last, an upsampler with rate m gets m
 // phases producing one token each and consuming only on the first.
+//
+// Entry points: FromCanonical converts a frozen task graph; SelfTimedMakespan
+// and Throughput analyze the ASAP execution (the fig12-csdf cells);
+// BoundedSelfTimed and BufferThroughputTradeoff explore finite FIFO
+// capacities. The engine is event-driven but fully deterministic — actors
+// fire in a fixed order within a timestep — so CSDF makespans are pure
+// functions of the graph content and cacheable like every other cell value.
 package csdf
 
 import (

@@ -25,6 +25,14 @@
 // Sweeps that validate many schedules should allocate one Scratch per worker
 // and call its Simulate method: all edge, FIFO, and task state is then reused
 // across runs instead of being reallocated per simulation.
+//
+// Entry points: Simulate (one-shot) and NewScratch + Scratch.Simulate (the
+// engine's per-worker hot path); both return Stats with the simulated
+// makespan, deadlock flag, and RelativeError against the analytical
+// makespan. The simulator is cycle-exact and deterministic — no randomness,
+// fixed task evaluation order — so simulate-variant cells are pure
+// functions of (graph content, schedule, FIFO sizes) and cache cleanly;
+// a Scratch must not be shared between goroutines.
 package desim
 
 import (

@@ -1,0 +1,264 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/results"
+)
+
+// Agent is a pull-based distributed-sweep worker: it fetches the run
+// descriptor from a coordinator, recompiles the identical plan from the
+// run's artifact metadata, and then loops — lease a batch of job indices,
+// evaluate them on the local experiments.Runner worker pool (consulting
+// the persistent results cache, when configured, so warm cells never
+// recompute), upload the cells — until the coordinator reports the run
+// done.
+type Agent struct {
+	// URL is the coordinator's base URL, e.g. "http://host:8077".
+	URL string
+	// Worker names this agent in leases, status, and batch provenance;
+	// empty derives "host-pid".
+	Worker string
+	// Workers sizes the local evaluation pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when set, is the persistent results cache consulted before
+	// evaluating any job (the same -cache directory a local run uses).
+	Cache *results.Cache
+	// Log receives progress notes; nil means os.Stderr.
+	Log io.Writer
+	// Client issues the HTTP requests; nil means a default client.
+	Client *http.Client
+	// ConnectWait bounds how long the agent keeps retrying the initial
+	// run-descriptor fetch while the coordinator comes up; 0 means 30s.
+	ConnectWait time.Duration
+}
+
+// AgentReport summarizes one agent session.
+type AgentReport struct {
+	// Batches is how many leases the agent fulfilled; Jobs how many cell
+	// jobs it ran, of which Failed errored and CacheHits came from the
+	// persistent results cache.
+	Batches   int
+	Jobs      int
+	Failed    int
+	CacheHits int
+	Elapsed   time.Duration
+}
+
+func (a *Agent) log() io.Writer {
+	if a.Log != nil {
+		return a.Log
+	}
+	return os.Stderr
+}
+
+func (a *Agent) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+func (a *Agent) worker() string {
+	if a.Worker != "" {
+		return a.Worker
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "agent"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// Run executes the agent loop until the run completes, the context is
+// canceled, or the coordinator becomes unreachable after the session
+// started (a vanished coordinator ends the session cleanly: whatever this
+// agent had leased will be requeued elsewhere once its leases expire, and
+// a coordinator that already finished has no more work to hand out).
+func (a *Agent) Run(ctx context.Context) (AgentReport, error) {
+	start := time.Now()
+	worker := a.worker()
+	var rep AgentReport
+
+	info, err := a.fetchRunInfo(ctx)
+	if err != nil {
+		return rep, err
+	}
+	specs, err := experiments.SpecsFromMeta(info.Meta)
+	if err != nil {
+		return rep, fmt.Errorf("distrib: agent: rebuilding specs from run metadata: %w", err)
+	}
+	plan, err := experiments.Compile(specs)
+	if err != nil {
+		return rep, fmt.Errorf("distrib: agent: recompiling plan: %w", err)
+	}
+	if h := experiments.PlanHash(plan); h != info.PlanHash {
+		return rep, fmt.Errorf("distrib: agent: local plan hash %s does not match the coordinator's %s; coordinator and agent must run the same build with compatible registries", h, info.PlanHash)
+	}
+	fmt.Fprintf(a.log(), "distrib: agent %s joined run %s: %d jobs total, batches of %d\n",
+		worker, info.Run, info.Jobs, info.BatchSize)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		var lease LeaseResponse
+		err := a.postJSON(ctx, "/v1/lease", LeaseRequest{Worker: worker, PlanHash: info.PlanHash}, &lease)
+		if err != nil {
+			return a.sessionEnd(rep, start, err)
+		}
+		if lease.Done {
+			rep.Elapsed = time.Since(start)
+			fmt.Fprintf(a.log(), "distrib: agent %s done: %d batches, %d jobs (%d failed, %d cached) in %v\n",
+				worker, rep.Batches, rep.Jobs, rep.Failed, rep.CacheHits, rep.Elapsed.Round(time.Millisecond))
+			return rep, nil
+		}
+		if len(lease.Jobs) == 0 {
+			wait := lease.RetryAfter
+			if wait <= 0 {
+				wait = time.Second
+			}
+			select {
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+
+		runner := experiments.Runner{Workers: a.Workers, Only: lease.Jobs, Results: a.Cache}
+		set, runRep := runner.RunPlan(plan)
+		rep.Batches++
+		rep.Jobs += runRep.Jobs
+		rep.Failed += len(runRep.Failures)
+		rep.CacheHits += runRep.CacheHits
+
+		meta := info.Meta
+		meta.Distrib = &results.DistribMeta{
+			Run:    info.Run,
+			Worker: worker,
+			Lease:  lease.Lease,
+			Batch:  rep.Batches,
+		}
+		batch := results.Artifact{Schema: results.SchemaVersion, Meta: meta, Cells: set.Cells()}
+		for _, f := range runRep.Failures {
+			batch.Failures = append(batch.Failures, results.Failure{Label: f.Job.String(), Err: f.Err.Error()})
+		}
+		var ack CompleteResponse
+		err = a.postJSON(ctx, "/v1/complete", CompleteRequest{
+			Worker: worker, Lease: lease.Lease, PlanHash: info.PlanHash, Artifact: batch,
+		}, &ack)
+		if err != nil {
+			return a.sessionEnd(rep, start, err)
+		}
+		fmt.Fprintf(a.log(), "distrib: agent %s batch %d: %d jobs, %d accepted, %d duplicates\n",
+			worker, rep.Batches, runRep.Jobs, ack.Accepted, ack.Duplicates)
+	}
+}
+
+// sessionEnd classifies a mid-session request error. Protocol rejections
+// (the coordinator answered, and said no) abort the agent; transport
+// errors after a successful join mean the coordinator is gone — most
+// likely it finished the run and exited between two of our polls — so the
+// session ends cleanly.
+func (a *Agent) sessionEnd(rep AgentReport, start time.Time, err error) (AgentReport, error) {
+	rep.Elapsed = time.Since(start)
+	var he *httpError
+	if errors.As(err, &he) {
+		return rep, err
+	}
+	fmt.Fprintf(a.log(), "distrib: agent %s: coordinator unreachable (%v); assuming the run ended\n", a.worker(), err)
+	return rep, nil
+}
+
+// fetchRunInfo retries the initial GET /v1/run until the coordinator is
+// reachable, so agents can be started before (or while) the coordinator
+// comes up.
+func (a *Agent) fetchRunInfo(ctx context.Context) (RunInfo, error) {
+	wait := a.ConnectWait
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	var info RunInfo
+	for {
+		err := a.getJSON(ctx, "/v1/run", &info)
+		if err == nil {
+			return info, nil
+		}
+		var he *httpError
+		if errors.As(err, &he) {
+			return RunInfo{}, fmt.Errorf("distrib: agent: joining run: %w", err)
+		}
+		if time.Now().After(deadline) {
+			return RunInfo{}, fmt.Errorf("distrib: agent: coordinator at %s unreachable after %v: %w", a.URL, wait, err)
+		}
+		select {
+		case <-ctx.Done():
+			return RunInfo{}, ctx.Err()
+		case <-time.After(300 * time.Millisecond):
+		}
+	}
+}
+
+func (a *Agent) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(a.URL, "/")+path, nil)
+	if err != nil {
+		return err
+	}
+	return a.do(req, out)
+}
+
+func (a *Agent) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(a.URL, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return a.do(req, out)
+}
+
+// do issues the request and decodes the JSON response. Non-2xx responses
+// surface as *httpError so callers can distinguish a protocol rejection
+// from a transport failure.
+func (a *Agent) do(req *http.Request, out any) error {
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return &httpError{code: resp.StatusCode, msg: fmt.Sprintf("%s %s: %s: %s",
+			req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// FetchStatus retrieves a coordinator's /v1/status report; it backs
+// `cmd/experiments -status`.
+func FetchStatus(ctx context.Context, client *http.Client, url string) (Status, error) {
+	a := &Agent{URL: url, Client: client}
+	var st Status
+	if err := a.getJSON(ctx, "/v1/status", &st); err != nil {
+		return Status{}, fmt.Errorf("distrib: fetching status from %s: %w", url, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,578 @@
+package distrib
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/results"
+)
+
+// Defaults for CoordinatorOptions.
+const (
+	// DefaultLeaseTimeout bounds how long a worker may sit on a batch
+	// before its jobs requeue. Individual cell jobs run in milliseconds to
+	// seconds, so two minutes comfortably covers a full batch on a slow
+	// machine while still recovering from a dead worker quickly.
+	DefaultLeaseTimeout = 2 * time.Minute
+	// DefaultBatchSize is the jobs-per-lease default: large enough that
+	// lease round trips are noise next to evaluation time, small enough
+	// that a dead worker forfeits little work and stragglers rebalance
+	// (see docs/DISTRIBUTED.md on batch sizing).
+	DefaultBatchSize = 16
+)
+
+// CoordinatorOptions configures a coordinator.
+type CoordinatorOptions struct {
+	// LeaseTimeout is how long a leased batch may stay unresolved; 0 means
+	// DefaultLeaseTimeout.
+	LeaseTimeout time.Duration
+	// BatchSize is the number of jobs granted per lease; 0 means
+	// DefaultBatchSize.
+	BatchSize int
+	// Run names the run in status reports and batch provenance; empty
+	// generates a random id.
+	Run string
+
+	// now replaces the wall clock; tests advance it to expire leases
+	// without sleeping.
+	now func() time.Time
+}
+
+// jobState tracks one compiled job through the queue.
+type jobState uint8
+
+const (
+	jobPending jobState = iota // in the queue, waiting for a lease
+	jobLeased                  // granted to a worker, lease outstanding
+	jobDone                    // resolved by a cell or a recorded failure
+)
+
+type lease struct {
+	id       string
+	worker   string
+	jobs     []int
+	deadline time.Time
+}
+
+// Coordinator owns one distributed run: the compiled plan, the job queue
+// with its leases, and the accumulating cells. It is safe for concurrent
+// use; Handler exposes it over HTTP.
+type Coordinator struct {
+	plan         *experiments.Plan
+	meta         results.Meta
+	planHash     string
+	run          string
+	leaseTimeout time.Duration
+	batchSize    int
+	now          func() time.Time
+
+	keyIdx   map[results.CellKey]int
+	labelIdx map[string]int
+
+	mu         sync.Mutex
+	state      []jobState
+	owner      []string // lease id per jobLeased job
+	pending    []int    // FIFO queue of pending job indices
+	leases     map[string]*lease
+	leaseSeq   int
+	cells      []*results.Cell
+	failures   []*results.Failure
+	unresolved int
+	requeues   int
+	workers    map[string]*WorkerStatus
+	start      time.Time
+	done       chan struct{}
+}
+
+// NewCoordinator compiles the specs and sets up the job queue. The specs
+// are the same values a local `cmd/experiments` run would compile, so the
+// final merged artifact is byte-identical to a local unsharded `-out` run.
+func NewCoordinator(specs []experiments.Spec, opt CoordinatorOptions) (*Coordinator, error) {
+	plan, err := experiments.Compile(specs)
+	if err != nil {
+		return nil, err
+	}
+	if opt.LeaseTimeout <= 0 {
+		opt.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = DefaultBatchSize
+	}
+	if opt.Run == "" {
+		opt.Run = "run-" + randomID()
+	}
+	if opt.now == nil {
+		opt.now = time.Now
+	}
+	c := &Coordinator{
+		plan:         plan,
+		meta:         experiments.MetaFromSpecs(specs, 0, 1),
+		planHash:     experiments.PlanHash(plan),
+		run:          opt.Run,
+		leaseTimeout: opt.LeaseTimeout,
+		batchSize:    opt.BatchSize,
+		now:          opt.now,
+		keyIdx:       make(map[results.CellKey]int, len(plan.Jobs)),
+		labelIdx:     make(map[string]int, len(plan.Jobs)),
+		state:        make([]jobState, len(plan.Jobs)),
+		owner:        make([]string, len(plan.Jobs)),
+		pending:      make([]int, 0, len(plan.Jobs)),
+		leases:       make(map[string]*lease),
+		cells:        make([]*results.Cell, len(plan.Jobs)),
+		failures:     make([]*results.Failure, len(plan.Jobs)),
+		unresolved:   len(plan.Jobs),
+		workers:      make(map[string]*WorkerStatus),
+		done:         make(chan struct{}),
+	}
+	c.start = c.now()
+	for i, j := range plan.Jobs {
+		c.pending = append(c.pending, i)
+		c.keyIdx[j.Key] = i
+		c.labelIdx[j.Job.String()] = i
+	}
+	if len(plan.Jobs) == 0 {
+		close(c.done)
+	}
+	return c, nil
+}
+
+func randomID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("distrib: reading random id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Run returns the run identifier.
+func (c *Coordinator) Run() string { return c.run }
+
+// Plan returns the compiled plan the queue is serving.
+func (c *Coordinator) Plan() *experiments.Plan { return c.plan }
+
+// Done is closed once every job is resolved (completed or failed).
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Info returns the run descriptor served on GET /v1/run.
+func (c *Coordinator) Info() RunInfo {
+	return RunInfo{
+		Run:          c.run,
+		Meta:         c.meta,
+		PlanHash:     c.planHash,
+		Jobs:         len(c.plan.Jobs),
+		LeaseTimeout: c.leaseTimeout,
+		BatchSize:    c.batchSize,
+	}
+}
+
+// httpError carries the status code an HTTP handler should reject with.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func rejectf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// expireLocked requeues the unresolved jobs of every lease whose deadline
+// has lapsed. Callers hold c.mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if l.deadline.After(now) {
+			continue
+		}
+		c.releaseLocked(l)
+		delete(c.leases, id)
+	}
+}
+
+// releaseLocked returns a lease's still-leased jobs to the queue. Callers
+// hold c.mu.
+func (c *Coordinator) releaseLocked(l *lease) {
+	for _, j := range l.jobs {
+		if c.state[j] == jobLeased && c.owner[j] == l.id {
+			c.state[j] = jobPending
+			c.owner[j] = ""
+			c.pending = append(c.pending, j)
+			c.requeues++
+		}
+	}
+}
+
+func (c *Coordinator) workerLocked(name string, now time.Time) *WorkerStatus {
+	w := c.workers[name]
+	if w == nil {
+		w = &WorkerStatus{}
+		c.workers[name] = w
+	}
+	w.LastSeen = now
+	return w
+}
+
+// Lease grants the next batch of pending jobs to a worker. A request whose
+// plan hash disagrees with the coordinator's is rejected: the worker would
+// interpret the granted indices as different jobs.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	if req.PlanHash != c.planHash {
+		return LeaseResponse{}, rejectf(http.StatusConflict,
+			"plan hash %q does not match this run's %q: the worker compiled a different plan (different code version, registry contents, or options)",
+			req.PlanHash, c.planHash)
+	}
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	w := c.workerLocked(req.Worker, now)
+
+	max := req.Max
+	if max <= 0 || max > c.batchSize {
+		max = c.batchSize
+	}
+	// Pop up to max genuinely pending jobs. The queue may hold stale
+	// indices: a late completion of an expired lease resolves jobs that
+	// expiry already requeued, and they stay in the FIFO until discarded
+	// here — re-granting one would double-resolve it and end the run with
+	// jobs still open.
+	jobs := make([]int, 0, max)
+	i := 0
+	for ; i < len(c.pending) && len(jobs) < max; i++ {
+		if j := c.pending[i]; c.state[j] == jobPending {
+			jobs = append(jobs, j)
+		}
+	}
+	c.pending = c.pending[i:]
+	if len(jobs) == 0 {
+		if c.unresolved == 0 {
+			return LeaseResponse{Done: true}, nil
+		}
+		return LeaseResponse{RetryAfter: c.retryAfterLocked(now)}, nil
+	}
+	c.leaseSeq++
+	l := &lease{
+		id:       fmt.Sprintf("L%d", c.leaseSeq),
+		worker:   req.Worker,
+		jobs:     jobs,
+		deadline: now.Add(c.leaseTimeout),
+	}
+	for _, j := range jobs {
+		c.state[j] = jobLeased
+		c.owner[j] = l.id
+	}
+	c.leases[l.id] = l
+	w.Leases++
+	return LeaseResponse{Lease: l.id, Jobs: jobs, Deadline: l.deadline}, nil
+}
+
+// retryAfterLocked picks a polling interval for a worker that found the
+// queue empty while other leases are outstanding: the soonest lease expiry,
+// clamped so agents neither busy-wait nor oversleep the end of the run.
+func (c *Coordinator) retryAfterLocked(now time.Time) time.Duration {
+	retry := time.Second
+	for _, l := range c.leases {
+		if d := l.deadline.Sub(now); d < retry {
+			retry = d
+		}
+	}
+	if retry < 100*time.Millisecond {
+		retry = 100 * time.Millisecond
+	}
+	return retry
+}
+
+// Complete ingests one fulfilled lease. The whole batch is validated
+// before any of it is applied: a mismatched plan hash, artifact schema, or
+// run configuration — or a cell/failure that addresses no job of the plan —
+// rejects the upload without side effects. Results for jobs that are
+// already resolved (a lease expired and another worker recomputed them)
+// are counted as duplicates and ignored: jobs are deterministic, so the
+// first result is as good as any.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	if req.PlanHash != c.planHash {
+		return CompleteResponse{}, rejectf(http.StatusConflict,
+			"plan hash %q does not match this run's %q", req.PlanHash, c.planHash)
+	}
+	art := &req.Artifact
+	if art.Schema != results.SchemaVersion {
+		return CompleteResponse{}, rejectf(http.StatusConflict,
+			"artifact schema %d, this coordinator speaks %d", art.Schema, results.SchemaVersion)
+	}
+	if !results.MetaCompatible(c.meta, art.Meta) {
+		return CompleteResponse{}, rejectf(http.StatusConflict,
+			"batch metadata does not match this run's configuration (different experiments, seed, graph count, or synth config)")
+	}
+
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	w := c.workerLocked(req.Worker, now)
+
+	// Validate every result before applying any.
+	cellIdx := make([]int, len(art.Cells))
+	for i, cell := range art.Cells {
+		idx, ok := c.keyIdx[cell.Key]
+		if !ok {
+			return CompleteResponse{}, rejectf(http.StatusBadRequest,
+				"cell %s addresses no job of this run", cell.Key)
+		}
+		if err := results.ValidateCellMetrics(c.meta.Variants, cell); err != nil {
+			return CompleteResponse{}, rejectf(http.StatusBadRequest, "%v", err)
+		}
+		cellIdx[i] = idx
+	}
+	failIdx := make([]int, len(art.Failures))
+	for i, f := range art.Failures {
+		idx, ok := c.labelIdx[f.Label]
+		if !ok {
+			return CompleteResponse{}, rejectf(http.StatusBadRequest,
+				"failure %q addresses no job of this run", f.Label)
+		}
+		failIdx[i] = idx
+	}
+
+	var resp CompleteResponse
+	resolve := func(idx int) bool {
+		if c.state[idx] == jobDone {
+			resp.Duplicates++
+			w.Duplicates++
+			return false
+		}
+		c.state[idx] = jobDone
+		c.owner[idx] = ""
+		c.unresolved--
+		resp.Accepted++
+		return true
+	}
+	for i, cell := range art.Cells {
+		if resolve(cellIdx[i]) {
+			stored := cell
+			c.cells[cellIdx[i]] = &stored
+			w.Completed++
+		}
+	}
+	for i, f := range art.Failures {
+		if resolve(failIdx[i]) {
+			stored := f
+			c.failures[failIdx[i]] = &stored
+			w.Failed++
+		}
+	}
+
+	// Retire the lease. Jobs it covered but the upload did not resolve (a
+	// partial batch) go straight back to the queue rather than waiting out
+	// the timeout.
+	if l := c.leases[req.Lease]; l != nil {
+		c.releaseLocked(l)
+		delete(c.leases, req.Lease)
+	}
+
+	if c.unresolved == 0 {
+		resp.Done = true
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+	return resp, nil
+}
+
+// Status snapshots the run's progress. It applies lease expiry first, so
+// the report never shows a lapsed lease as in-flight work.
+func (c *Coordinator) Status() Status {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	st := Status{
+		Run:      c.run,
+		Jobs:     len(c.plan.Jobs),
+		Pending:  len(c.pending),
+		Requeues: c.requeues,
+		Done:     c.unresolved == 0,
+		Elapsed:  now.Sub(c.start),
+		Workers:  make(map[string]WorkerStatus, len(c.workers)),
+	}
+	for i := range c.state {
+		switch c.state[i] {
+		case jobLeased:
+			st.Leased++
+		case jobDone:
+			if c.failures[i] != nil {
+				st.Failed++
+			} else {
+				st.Completed++
+			}
+		}
+	}
+	for name, w := range c.workers {
+		st.Workers[name] = *w
+	}
+	for _, l := range c.leases {
+		st.Leases = append(st.Leases, LeaseStatus{
+			Lease: l.id, Worker: l.worker, Jobs: len(l.jobs), Deadline: l.deadline,
+		})
+	}
+	for _, f := range c.failures {
+		if f != nil {
+			st.Failures = append(st.Failures, *f)
+		}
+	}
+	return st
+}
+
+// Artifact assembles the merged run artifact: every collected cell and
+// failure in compiled job order, under the run's shard-0-of-1 metadata.
+// Because cells are keyed by job index and the metadata carries no
+// distributed provenance, the result is byte-identical to what a local
+// unsharded `cmd/experiments -out` run of the same specs writes. It is
+// meaningful once Done() is closed; called earlier it returns the cells
+// collected so far.
+func (c *Coordinator) Artifact() *results.Artifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	art := &results.Artifact{Schema: results.SchemaVersion, Meta: c.meta}
+	for _, cell := range c.cells {
+		if cell != nil {
+			art.Cells = append(art.Cells, *cell)
+		}
+	}
+	for _, f := range c.failures {
+		if f != nil {
+			art.Failures = append(art.Failures, *f)
+		}
+	}
+	return art
+}
+
+// FailureCount reports how many jobs resolved as failures.
+func (c *Coordinator) FailureCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, f := range c.failures {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Handler exposes the coordinator's four endpoints as an http.Handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpReject(w, rejectf(http.StatusMethodNotAllowed, "GET only"))
+			return
+		}
+		writeJSON(w, c.Info())
+	})
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if err := readJSON(w, r, &req); err != nil {
+			return
+		}
+		resp, err := c.Lease(req)
+		if err != nil {
+			httpReject(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if err := readJSON(w, r, &req); err != nil {
+			return
+		}
+		resp, err := c.Complete(req)
+		if err != nil {
+			httpReject(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpReject(w, rejectf(http.StatusMethodNotAllowed, "GET only"))
+			return
+		}
+		writeJSON(w, c.Status())
+	})
+	return mux
+}
+
+// Serve serves the coordinator on addr until every job is resolved, then
+// shuts the server down gracefully and returns. Progress notes go to logw
+// (pass io.Discard to silence them).
+func (c *Coordinator) Serve(addr string, logw io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("distrib: coordinator listen: %w", err)
+	}
+	fmt.Fprintf(logw, "distrib: coordinator %s serving %d jobs on http://%s (status: http://%s/v1/status)\n",
+		c.run, len(c.plan.Jobs), ln.Addr(), ln.Addr())
+	srv := &http.Server{Handler: c.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case <-c.Done():
+	case err := <-errCh:
+		return fmt.Errorf("distrib: coordinator server: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("distrib: coordinator shutdown: %w", err)
+	}
+	<-errCh // http.ErrServerClosed after a clean Shutdown
+	st := c.Status()
+	fmt.Fprintf(logw, "distrib: run %s complete: %d cells, %d failures, %d requeues, %d workers, elapsed %v\n",
+		c.run, st.Completed, st.Failed, st.Requeues, len(st.Workers), st.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// writeJSON, readJSON, and httpReject are the tiny JSON plumbing shared by
+// the endpoints.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	if r.Method != http.MethodPost {
+		err := rejectf(http.StatusMethodNotAllowed, "POST only")
+		httpReject(w, err)
+		return err
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		err = rejectf(http.StatusBadRequest, "bad request body: %v", err)
+		httpReject(w, err)
+		return err
+	}
+	return nil
+}
+
+func httpReject(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		code = he.code
+	}
+	http.Error(w, err.Error(), code)
+}

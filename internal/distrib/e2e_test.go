@@ -1,0 +1,211 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/results"
+)
+
+// localArtifact runs the specs unsharded in-process and writes the
+// artifact exactly as `cmd/experiments -out` does — the byte-level oracle
+// for every distributed run.
+func localArtifact(t *testing.T, specs []experiments.Spec, path string) {
+	t.Helper()
+	plan, err := experiments.Compile(specs)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	set, rep := experiments.Runner{}.RunPlan(plan)
+	if len(rep.Failures) > 0 {
+		t.Fatalf("local reference run failed jobs: %v", rep.Failures)
+	}
+	art := &results.Artifact{Meta: experiments.MetaFromSpecs(specs, 0, 1), Cells: set.Cells()}
+	if err := art.WriteFile(path); err != nil {
+		t.Fatalf("writing local artifact: %v", err)
+	}
+}
+
+// Two agents pull batches from one coordinator over real HTTP; the merged
+// artifact must be byte-identical to the local unsharded run.
+func TestTwoAgentsByteIdenticalArtifact(t *testing.T) {
+	// placement, heft, and pipeline carry no measured wall-clock cells, so
+	// byte-identity needs no shared warm cache (heft also exercises
+	// cross-experiment cell sharing with the SB-LTS sweep cells).
+	specs := testSpecs("placement", "heft", "pipeline")
+	dir := t.TempDir()
+	seq := filepath.Join(dir, "seq.json")
+	localArtifact(t, specs, seq)
+
+	coord, err := NewCoordinator(specs, CoordinatorOptions{
+		LeaseTimeout: time.Minute,
+		BatchSize:    7, // odd on purpose: batches straddle experiment boundaries
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	reports := make([]AgentReport, 2)
+	errs := make([]error, 2)
+	for i, name := range []string{"agent-1", "agent-2"} {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			a := &Agent{URL: srv.URL, Worker: name, Workers: 2, Log: io.Discard}
+			reports[i], errs[i] = a.Run(context.Background())
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i+1, err)
+		}
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("agents returned but the run is not done")
+	}
+	if got := reports[0].Jobs + reports[1].Jobs; got != len(coord.Plan().Jobs) {
+		t.Fatalf("agents ran %d jobs total, plan has %d", got, len(coord.Plan().Jobs))
+	}
+
+	dist := filepath.Join(dir, "dist.json")
+	if err := coord.Artifact().WriteFile(dist); err != nil {
+		t.Fatalf("writing merged artifact: %v", err)
+	}
+	wantBytes, err := os.ReadFile(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Fatalf("distributed artifact differs from the local unsharded run\nlocal:       %d bytes\ndistributed: %d bytes", len(wantBytes), len(gotBytes))
+	}
+}
+
+// A worker that leases a batch and dies never completes it; the lease
+// expires, the jobs requeue, and a surviving agent finishes the run.
+func TestAgentDeathMidRunStillCompletes(t *testing.T) {
+	specs := testSpecs("pipeline")
+	coord, err := NewCoordinator(specs, CoordinatorOptions{
+		LeaseTimeout: 300 * time.Millisecond,
+		BatchSize:    8,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// The doomed worker takes a batch straight off the queue and vanishes.
+	doomed, err := coord.Lease(LeaseRequest{Worker: "doomed", PlanHash: coord.planHash})
+	if err != nil {
+		t.Fatalf("doomed lease: %v", err)
+	}
+	if len(doomed.Jobs) == 0 {
+		t.Fatal("doomed worker leased no jobs")
+	}
+
+	a := &Agent{URL: srv.URL, Worker: "survivor", Workers: 2, Log: io.Discard}
+	rep, err := a.Run(context.Background())
+	if err != nil {
+		t.Fatalf("surviving agent: %v", err)
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("run not done after the surviving agent returned")
+	}
+	st := coord.Status()
+	if st.Requeues < len(doomed.Jobs) {
+		t.Fatalf("status requeues = %d, want at least the doomed worker's %d jobs", st.Requeues, len(doomed.Jobs))
+	}
+	if rep.Jobs != len(coord.Plan().Jobs) {
+		t.Fatalf("survivor ran %d jobs, want all %d (including the requeued batch)", rep.Jobs, len(coord.Plan().Jobs))
+	}
+	if got := len(coord.Artifact().Cells); got != len(coord.Plan().Jobs) {
+		t.Fatalf("artifact has %d cells, want %d", got, len(coord.Plan().Jobs))
+	}
+}
+
+// Agents consulting a shared persistent results cache serve warm cells
+// without recomputing them.
+func TestAgentUsesResultsCache(t *testing.T) {
+	specs := testSpecs("pipeline")
+	cache, err := results.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+
+	// Warm the cache with a local run, as a previous sweep would have.
+	plan, err := experiments.Compile(specs)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, rep := (experiments.Runner{Results: cache}).RunPlan(plan); len(rep.Failures) > 0 {
+		t.Fatalf("warming run failed: %v", rep.Failures)
+	}
+
+	coord, err := NewCoordinator(specs, CoordinatorOptions{LeaseTimeout: time.Minute, BatchSize: 16})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	a := &Agent{URL: srv.URL, Worker: "warm", Workers: 2, Cache: cache, Log: io.Discard}
+	rep, err := a.Run(context.Background())
+	if err != nil {
+		t.Fatalf("agent: %v", err)
+	}
+	if rep.CacheHits != rep.Jobs || rep.Jobs != len(coord.Plan().Jobs) {
+		t.Fatalf("agent report %+v: want every one of the %d jobs served from cache", rep, len(coord.Plan().Jobs))
+	}
+}
+
+// The status endpoint reports progress over HTTP, including per-worker
+// stats, and FetchStatus (behind `cmd/experiments -status`) reads it.
+func TestStatusEndpoint(t *testing.T) {
+	specs := testSpecs("pipeline")
+	coord, err := NewCoordinator(specs, CoordinatorOptions{LeaseTimeout: time.Minute, BatchSize: 4, Run: "testrun"})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	l, err := coord.Lease(LeaseRequest{Worker: "w", PlanHash: coord.planHash})
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if _, err := coord.Complete(completeReq(coord, "w", l.Lease, l.Jobs)); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+
+	st, err := FetchStatus(context.Background(), nil, srv.URL)
+	if err != nil {
+		t.Fatalf("FetchStatus: %v", err)
+	}
+	if st.Run != "testrun" || st.Jobs != len(coord.Plan().Jobs) || st.Completed != len(l.Jobs) {
+		t.Fatalf("status = %+v, want run testrun with %d completed of %d", st, len(l.Jobs), len(coord.Plan().Jobs))
+	}
+	w, ok := st.Workers["w"]
+	if !ok || w.Leases != 1 || w.Completed != len(l.Jobs) {
+		t.Fatalf("worker stats = %+v, want one lease with %d completions", st.Workers, len(l.Jobs))
+	}
+}

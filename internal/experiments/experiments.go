@@ -28,6 +28,11 @@
 // and are byte-identical however the cells were produced. Randomness is
 // seeded, so every run is reproducible; box-plot summaries stand in for
 // the paper's plots.
+//
+// Two hooks exist for the distributed layer (internal/distrib): PlanHash
+// fingerprints a compiled plan so separate processes can prove they agree
+// on the job list, and Runner.Only executes an explicit set of job indices
+// (the batches a coordinator leases) instead of a modulo shard.
 package experiments
 
 import (

@@ -87,6 +87,12 @@ type Runner struct {
 	// i % ShardCount == ShardIndex), so a run can be split across
 	// processes or machines and recombined with results.Merge.
 	ShardIndex, ShardCount int
+	// Only, when non-nil, runs exactly the listed job indices and ignores
+	// the shard settings. This is how a distributed-sweep agent
+	// (internal/distrib) executes the job batches its coordinator leases to
+	// it: the coordinator picks indices into the shared compiled plan, and
+	// the agent runs just those. Out-of-range indices are skipped.
+	Only []int
 	// Cache memoizes graph construction for Sweep. Nil means a fresh cache
 	// per sweep; RunPlan always uses the plan's own cache, which is shared
 	// with table rendering.
@@ -231,9 +237,19 @@ func (r Runner) runJobs(jobs []CellJob, graphs *GraphCache) ([]*results.Cell, Re
 	}
 
 	go func() {
-		for i := range jobs {
-			if r.inShard(i) {
-				idxCh <- i
+		if r.Only != nil {
+			seen := make(map[int]bool, len(r.Only))
+			for _, i := range r.Only {
+				if i >= 0 && i < len(jobs) && !seen[i] {
+					seen[i] = true
+					idxCh <- i
+				}
+			}
+		} else {
+			for i := range jobs {
+				if r.inShard(i) {
+					idxCh <- i
+				}
 			}
 		}
 		close(idxCh)

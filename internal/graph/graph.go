@@ -5,6 +5,15 @@
 // volume communicated between tasks, counted in unitary elements as in the
 // paper (Section 2). The structure is mutable while building and is usually
 // frozen (validated as acyclic, topologically ordered) before analysis.
+//
+// The freeze is the package's key invariant: a frozen DAG is immutable and
+// carries a fixed topological order, so schedulers, simulators, and
+// concurrent experiment workers can share one instance without
+// synchronization, and the canonical iteration order (dense IDs, stable
+// edge lists) makes every downstream analysis deterministic — the property
+// the content-addressed results cache and byte-identical tables are built
+// on. Entry points: New, AddNode/AddEdge while building, Freeze to
+// validate, then Topo/Succs/Preds for traversal.
 package graph
 
 import (

@@ -9,6 +9,12 @@
 // Tasks are ranked by upward rank (mean execution cost plus the maximum
 // successor rank) and placed, in rank order, on the PE that minimizes the
 // earliest finish time, with insertion-based slot search.
+//
+// The entry point is Schedule (frozen graph, Device) returning a Result
+// with assignments, makespan, and Speedup. Ranking and placement break
+// ties deterministically (by node ID and PE index), so HEFT cells are pure
+// functions of the graph content and device — the property the heft
+// experiment's caching and byte-identical tables rely on.
 package heft
 
 import (

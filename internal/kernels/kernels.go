@@ -4,6 +4,11 @@
 // the paper's implementation variants, which trade streaming opportunities
 // against buffer space. Matrix-matrix multiplication variants live in
 // package onnx (used by the model lowering) and in examples/matmul.
+//
+// Entry points: OuterProduct and VectorNorm build frozen graphs for a
+// chosen variant and problem size. The graphs are deterministic in their
+// arguments and are what the golden-table tests and worked examples pin
+// their expected makespans and buffer sizes against.
 package kernels
 
 import (

@@ -10,6 +10,13 @@
 // Placement never changes the schedule's logical times — it reports how much
 // the contention-free assumption is violated (the congestion factor), which
 // bounds the slowdown a real mesh would add.
+//
+// The entry point is PlaceAll (graph, schedule, Mesh, anneal iterations,
+// seed), which places every spatial block and returns per-block Placements
+// and Costs. The annealer draws all randomness from the caller's int64
+// seed, so placement is a pure function of (graph content, schedule, mesh,
+// seed) — the invariant that makes placement cells content-addressable in
+// the results cache and the placement tables byte-identical across runs.
 package noc
 
 import (

@@ -16,6 +16,13 @@
 // both parallelism and pipelining, which is exactly where the paper reports
 // streaming gains (BatchNorm/ReLU/MaxPool chains) — while operators that
 // need the full tensor merge through a buffer node first.
+//
+// Entry points: ResNet50, TransformerEncoder, MLP, and VGG build frozen
+// model graphs from their Config shapes (Table 2 uses the first two, at
+// tiny and full sizes; the experiment layer registers them as onnx:*
+// workloads); Builder is the operator-level API new models compose.
+// Construction is deterministic in the config — no randomness — so model
+// cells are shared across runs through the content-addressed results cache.
 package onnx
 
 import (

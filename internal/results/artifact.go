@@ -38,6 +38,28 @@ type Meta struct {
 	// unsharded run writes shard 0 of 1.
 	ShardIndex int `json:"shard_index"`
 	ShardCount int `json:"shard_count"`
+	// Distrib, when present, records which distributed-sweep lease produced
+	// this batch of cells (internal/distrib). It is provenance, not identity:
+	// MetaCompatible ignores it, so coordinator batches merge cleanly with
+	// locally produced shards, and the coordinator's final merged artifact
+	// omits it entirely to stay byte-identical to a local unsharded run
+	// (see docs/ARTIFACTS.md and docs/DISTRIBUTED.md).
+	Distrib *DistribMeta `json:"distrib,omitempty"`
+}
+
+// DistribMeta is the lease/batch provenance a distributed-sweep worker
+// stamps on the artifacts it uploads to its coordinator.
+type DistribMeta struct {
+	// Run is the coordinator's run identifier; every batch of one
+	// distributed run carries the same value.
+	Run string `json:"run,omitempty"`
+	// Worker names the agent that computed the batch.
+	Worker string `json:"worker,omitempty"`
+	// Lease is the coordinator-issued lease the batch fulfills.
+	Lease string `json:"lease,omitempty"`
+	// Batch is the 1-based sequence number of this batch within the
+	// worker's session.
+	Batch int `json:"batch,omitempty"`
 }
 
 // Failure records one job that errored instead of producing its cell.
@@ -120,14 +142,14 @@ func Merge(arts []*Artifact) (*Set, Meta, error) {
 		if a.Meta.ShardIndex != i {
 			return nil, Meta{}, fmt.Errorf("results: shard %d of %d is missing or duplicated", i, want)
 		}
-		if !metaCompatible(ref, a.Meta) {
+		if !MetaCompatible(ref, a.Meta) {
 			return nil, Meta{}, fmt.Errorf("results: shard %d was produced by a different run configuration", a.Meta.ShardIndex)
 		}
 	}
 	set := NewSet()
 	for _, a := range sorted {
 		for _, c := range a.Cells {
-			if err := validateCellMetrics(ref.Variants, c); err != nil {
+			if err := ValidateCellMetrics(ref.Variants, c); err != nil {
 				return nil, Meta{}, fmt.Errorf("shard %d: %w", a.Meta.ShardIndex, err)
 			}
 			if err := set.Add(c); err != nil {
@@ -140,11 +162,14 @@ func Merge(arts []*Artifact) (*Set, Meta, error) {
 	return set, merged, nil
 }
 
-// validateCellMetrics checks a cell against the run's variant declarations:
+// ValidateCellMetrics checks a cell against a run's variant declarations:
 // its variant must be declared and every value name must be among the
-// variant's metric keys. Artifacts without declarations (hand-rolled or
-// produced before the metadata carried them) skip the check.
-func validateCellMetrics(declared map[string][]string, c Cell) error {
+// variant's metric keys. Merge applies it across shards and a distributed
+// coordinator applies it to every uploaded batch — a cheap end-to-end check
+// that the producer ran the same evaluation code. Artifacts without
+// declarations (hand-rolled or produced before the metadata carried them)
+// skip the check.
+func ValidateCellMetrics(declared map[string][]string, c Cell) error {
 	if len(declared) == 0 {
 		return nil
 	}
@@ -169,9 +194,14 @@ func validateCellMetrics(declared map[string][]string, c Cell) error {
 	return nil
 }
 
-// metaCompatible reports whether two shards came from the same run: equal
-// in everything but the shard index.
-func metaCompatible(a, b Meta) bool {
+// MetaCompatible reports whether two artifacts came from the same run
+// configuration: equal in everything but the shard index and the
+// distributed-run provenance. It is the check Merge applies across shards
+// and the one a distributed coordinator applies to every batch a worker
+// uploads — a worker compiled with different options (seed, graph counts,
+// synth config, experiment set) fails it and is rejected.
+func MetaCompatible(a, b Meta) bool {
 	a.ShardIndex, b.ShardIndex = 0, 0
+	a.Distrib, b.Distrib = nil, nil
 	return reflect.DeepEqual(a, b)
 }

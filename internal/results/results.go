@@ -19,6 +19,15 @@
 //     the same graph the same way share cache entries.
 //
 // The artifact schema is documented field by field in docs/ARTIFACTS.md.
+//
+// Entry points: Artifact.WriteFile / ReadArtifactFile / Merge for shards,
+// OpenCache for the persistent cache, NewSet for in-process collection.
+// Invariants the rest of the pipeline leans on: Set preserves insertion
+// order and rejects duplicate keys; Merge is deterministic and validates
+// shard metadata with MetaCompatible (which ignores shard position and the
+// distributed-run provenance in Meta.Distrib) plus per-cell metric
+// declarations (ValidateCellMetrics); float64 values round-trip JSON
+// exactly, so rendered tables never depend on where cells were computed.
 package results
 
 import (

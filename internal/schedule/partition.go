@@ -4,6 +4,17 @@
 // plus the work-ordered Algorithm 2 and the level-order scheme of Appendix
 // A), and the within-block gang schedule with starting, first-out, and
 // last-out times.
+//
+// Entry points: Algorithm1 (or PartitionLTS) partitions a frozen graph,
+// Schedule evaluates the ST/FO/LO recurrences over a partition, and
+// AnalyzePipeline derives the steady-state macro-pipelining latency and
+// initiation interval; StreamingDepth and SequentialTime supply the
+// denominators of the SSLR and speedup metrics. Hot loops should reuse a
+// NewScheduler per worker — it carries the grow-and-clear scratch state, so
+// it must not be shared across goroutines. Partitioning and scheduling are
+// fully deterministic (ties break by node ID), which is what makes every
+// derived cell value reproducible, byte-identical across worker counts,
+// and content-addressable in the results cache.
 package schedule
 
 import (

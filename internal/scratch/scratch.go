@@ -1,6 +1,12 @@
 // Package scratch provides the tiny grow-and-clear slice helpers shared by
 // the scratch-reusing hot paths (schedule.Scheduler, desim.Scratch): return
 // a zeroed slice of the requested length, reusing capacity when possible.
+//
+// Entry points: GrowFloats and GrowBools. The contract is exactly "a
+// zeroed slice of length n backed, when capacity allows, by the argument's
+// array" — callers own the returned slice until their next Grow call, so
+// one scratch value must never be shared across goroutines (each engine
+// worker owns its own Scheduler/Scratch for this reason).
 package scratch
 
 // GrowFloats returns a zeroed float slice of length n, reusing capacity.

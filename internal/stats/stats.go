@@ -1,6 +1,13 @@
 // Package stats provides the box-plot summaries used to report the
 // evaluation distributions (Figures 10, 11, 12, 13 plot medians, quartiles,
 // whiskers, and outliers over 100 random task graphs).
+//
+// Entry points: Summarize folds a sample slice into a five-number Summary
+// with Tukey whiskers, and Table renders aligned rows of summaries. Both
+// are pure functions of their inputs — Summarize is total (it accepts
+// empty and partially filled sample sets, which sharded runs produce) and
+// never reorders the caller's slice, so the rendered tables are
+// byte-identical however the samples were computed.
 package stats
 
 import (

@@ -9,6 +9,15 @@
 // Random rate assignment is structured per level/step so that the result is
 // canonical by construction: every node receives the same volume on all its
 // input edges because all producers feeding it share the same step.
+//
+// Entry points: Chain, FFT, Gaussian, and Cholesky each build one frozen
+// instance from a caller-supplied *rand.Rand and a Config bounding the
+// random volumes. Generation draws every random value from that rng in a
+// fixed order, so (seed, Config) fully determines the graph — the
+// invariant behind reproducible sweeps, the graph IDs that address cells
+// in shard artifacts, and the content fingerprints the results cache keys
+// on. Config changes therefore change cell identities; see
+// docs/ARTIFACTS.md on the config hash in graph IDs.
 package synth
 
 import (

@@ -3,6 +3,12 @@
 // (chrome://tracing, Perfetto) for interactive exploration. Each PE becomes
 // a timeline row; each task spans from its start to its last-out time, with
 // block boundaries marked.
+//
+// Entry points: Gantt (terminal chart), WriteChromeTrace (JSON for
+// chrome://tracing or Perfetto), and Summary (one-line schedule digest).
+// All three are pure renderers over a frozen graph and its
+// schedule.Result: they never mutate either, so they can be applied to
+// shared schedules at any point.
 package trace
 
 import (
