@@ -1,0 +1,32 @@
+# Developer entry points; CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fuzz-smoke verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates BENCH_5.json, the committed benchmark baseline
+# (fixed iteration counts; format documented in the README).
+bench:
+	$(GO) run ./cmd/bench
+
+# bench-smoke runs every benchmark once — the CI guard that benchmarks
+# still compile and complete, without timing anything meaningful.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# fuzz-smoke briefly cross-checks the desim leap engine against the
+# unit-stepping reference loop on random graphs, schedules, and FIFO sizes.
+fuzz-smoke:
+	$(GO) test ./internal/desim -run '^$$' -fuzz FuzzDesimLeapVsReference -fuzztime 20s
+
+verify: build test bench-smoke

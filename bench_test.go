@@ -121,7 +121,13 @@ func BenchmarkFig12(b *testing.B) {
 }
 
 // BenchmarkFig13Simulation measures the Appendix B discrete-event
-// validation of one scheduled graph, including buffer sizing.
+// validation of one scheduled graph on both desim engines: Leap is the
+// event-leaping fast path the fig13/ablation sweeps run on, Reference is
+// the unit-stepping oracle loop kept as the executable specification. Each
+// sub-benchmark reuses one Scratch, exactly like the sweep workers do
+// (after warm-up the simulation allocates nothing). The two engines'
+// Stats are byte-identical; only their speed differs, and BENCH_5.json
+// records the gap as part of the repository's performance trajectory.
 func BenchmarkFig13Simulation(b *testing.B) {
 	for name, tg := range topologies(synth.SmallConfig()) {
 		p := 32
@@ -137,17 +143,25 @@ func BenchmarkFig13Simulation(b *testing.B) {
 			b.Fatal(err)
 		}
 		caps := buffers.SizeMap(tg, res)
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				st, err := desim.Simulate(tg, res, desim.Config{FIFOCap: caps})
-				if err != nil {
-					b.Fatal(err)
+		for _, eng := range []struct {
+			name      string
+			reference bool
+		}{{"Leap", false}, {"Reference", true}} {
+			b.Run(name+"/"+eng.name, func(b *testing.B) {
+				s := desim.NewScratch()
+				cfg := desim.Config{FIFOCap: caps, Reference: eng.reference}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					st, err := s.Simulate(tg, res, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Deadlocked {
+						b.Fatal("unexpected deadlock")
+					}
 				}
-				if st.Deadlocked {
-					b.Fatal("unexpected deadlock")
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

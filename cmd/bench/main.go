@@ -1,0 +1,131 @@
+// Command bench records the repository's benchmark baseline: it runs the Go
+// benchmarks with fixed iteration counts and writes a machine-readable
+// snapshot (BENCH_5.json by default) mapping every benchmark to its ns/op,
+// B/op, and allocs/op. Committing the snapshot gives future changes a
+// performance trajectory to diff against — `make bench` regenerates it.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out BENCH_5.json] [-bench regex] [-benchtime 50x]
+//	                   [-pkg ./,./internal/desim] [-timeout 30m]
+//
+// The snapshot format is documented in the README ("Benchmark baselines"):
+//
+//	{
+//	  "schema": "streamsched-bench/v1",
+//	  "go": "go1.22.0",
+//	  "benchtime": "50x",
+//	  "benchmarks": {
+//	    "BenchmarkFig13Simulation/FFT/Leap-8": {
+//	      "iters": 50, "ns_per_op": 198374, "bytes_per_op": 42, "allocs_per_op": 0
+//	    },
+//	    ...
+//	  }
+//	}
+//
+// ns_per_op is wall-clock time per operation; a fixed -benchtime keeps the
+// simulated workload identical across runs, so two snapshots are directly
+// comparable (on comparable hardware — the snapshot deliberately records no
+// timestamps or host details beyond the Go version). The raw `go test`
+// output streams to stderr for eyeballing.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// snapshot is the BENCH_5.json document.
+type snapshot struct {
+	Schema     string            `json:"schema"`
+	Go         string            `json:"go"`
+	Benchtime  string            `json:"benchtime"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` output rows, with or without -benchmem
+// columns, e.g.:
+//
+//	BenchmarkFig13Simulation/FFT/Leap-8  50  198374 ns/op  42 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "snapshot file to write")
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "50x", "fixed iteration count (or duration) per benchmark")
+	pkgs := flag.String("pkg", "./,./internal/desim", "comma-separated packages whose benchmarks to run")
+	timeout := flag.String("timeout", "30m", "go test timeout")
+	flag.Parse()
+
+	if err := run(*out, *bench, *benchtime, *pkgs, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, bench, benchtime, pkgs, timeout string) error {
+	args := []string{"test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", "-count", "1", "-timeout", timeout}
+	args = append(args, strings.Split(pkgs, ",")...)
+
+	var buf bytes.Buffer
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+
+	snap := snapshot{
+		Schema:     "streamsched-bench/v1",
+		Go:         runtime.Version(),
+		Benchtime:  benchtime,
+		Benchmarks: map[string]result{},
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		var r result
+		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		snap.Benchmarks[m[1]] = r
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results parsed; check -bench/-pkg")
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ") // map keys marshal sorted
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d benchmarks to %s (benchtime %s)\n",
+		len(snap.Benchmarks), out, benchtime)
+	return nil
+}

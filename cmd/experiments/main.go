@@ -4,7 +4,8 @@
 //
 //	experiments [-exp all|fig10|...|placement,heft,pipeline] [-graphs N] [-seed S]
 //	            [-quick] [-full-models] [-workers N] [-shard i/n] [-out shard.json]
-//	            [-cache dir] [-report]
+//	            [-cache dir] [-report] [-sim-engine leap|reference]
+//	            [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	experiments -merge a.json b.json ...
 //	experiments -serve addr [-lease-timeout d] [-batch N] [-out merged.json] [spec flags]
 //	experiments -agent http://host:port [-worker-id name] [-workers N] [-cache dir]
@@ -35,6 +36,12 @@
 // stderr. A run whose jobs partly failed still writes its output but exits
 // nonzero.
 //
+// Simulating experiments run on desim's event-leaping engine; -sim-engine
+// reference selects the unit-stepping oracle loop for A/B timing (cells are
+// byte-identical either way, so caches and artifacts are unaffected).
+// -cpuprofile and -memprofile write pprof profiles of the run — also with
+// -agent — so sweep hot spots can be inspected without a test harness.
+//
 // Instead of picking shards by hand, a run can self-schedule across
 // machines (see docs/DISTRIBUTED.md): -serve starts an HTTP job-queue
 // coordinator that leases job batches to pull-based workers, requeues the
@@ -51,6 +58,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -80,6 +89,9 @@ func main() {
 	leaseTimeout := flag.Duration("lease-timeout", distrib.DefaultLeaseTimeout, "with -serve: requeue a leased batch not completed within this duration")
 	batch := flag.Int("batch", distrib.DefaultBatchSize, "with -serve: jobs granted per lease")
 	status := flag.String("status", "", "print the status JSON of the coordinator at this URL, then exit")
+	simEngine := flag.String("sim-engine", "leap", "discrete-event engine for simulate cells: leap (event-leaping fast path) or reference (unit-stepping oracle); results are byte-identical")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	explicit := map[string]bool{}
@@ -88,6 +100,7 @@ func main() {
 	if err := run(*exp, *graphs, *seed, *quick, *fullModels, *workers, *shard,
 		*out, *cacheDir, *cacheStats, *cacheGC, *merge, *report, *listVariants,
 		*serve, *agent, *workerID, *leaseTimeout, *batch, *status,
+		*simEngine, *cpuProfile, *memProfile,
 		explicit, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
@@ -98,7 +111,42 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 	shard, out, cacheDir string, cacheStats bool, cacheGC time.Duration,
 	merge, report, listVariants bool,
 	serve, agent, workerID string, leaseTimeout time.Duration, batch int, status string,
+	simEngine, cpuProfile, memProfile string,
 	explicit map[string]bool, args []string) error {
+
+	var referenceSim bool
+	switch simEngine {
+	case "leap":
+	case "reference":
+		referenceSim = true
+	default:
+		return fmt.Errorf("unknown -sim-engine %q (want leap or reference)", simEngine)
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	if listVariants {
 		return runListVariants(os.Stdout)
@@ -114,7 +162,7 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 	if agent != "" {
 		for name := range explicit {
 			switch name {
-			case "agent", "workers", "cache", "worker-id":
+			case "agent", "workers", "cache", "worker-id", "cpuprofile", "memprofile":
 			default:
 				return fmt.Errorf("-%s has no effect with -agent (the coordinator defines the run)", name)
 			}
@@ -170,7 +218,7 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 	if err != nil {
 		return err
 	}
-	runner := experiments.Runner{Workers: workers, ShardIndex: idx, ShardCount: count}
+	runner := experiments.Runner{Workers: workers, ShardIndex: idx, ShardCount: count, ReferenceSim: referenceSim}
 	var cache *results.Cache
 	if cacheDir != "" {
 		cache, err = results.OpenCache(cacheDir)

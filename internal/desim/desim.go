@@ -22,17 +22,41 @@
 // first-out/last-out recurrences of Section 5.1 exactly on the paper's
 // worked examples.
 //
+// # Engines
+//
+// Two engines produce byte-identical Stats:
+//
+//   - The reference engine (Config.Reference = true) advances one unit cycle
+//     at a time and steps every unfinished task every cycle. It is the
+//     executable specification: simple, obviously faithful to the semantics
+//     above, and O(makespan x tasks).
+//
+//   - The event-leaping engine (the default) runs the same unit-cycle loop
+//     but fingerprints the simulation's control state after every cycle.
+//     Between event boundaries (a FIFO filling or draining, a memory edge
+//     becoming readable, a task finishing, a rate-pattern boundary) the
+//     pipeline repeats a short periodic pattern of micro-actions, so once a
+//     period is detected and verified the engine advances counters and the
+//     clock by whole batches of periods in O(1) arithmetic (leap.go),
+//     falling back to exact unit stepping at and around every boundary.
+//
+// The leap engine is cycle-exact: golden tables, a differential test, and
+// the FuzzDesimLeapVsReference fuzz target cross-check the two engines over
+// random graphs, schedules, and FIFO capacities (leap_test.go).
+//
 // Sweeps that validate many schedules should allocate one Scratch per worker
-// and call its Simulate method: all edge, FIFO, and task state is then reused
-// across runs instead of being reallocated per simulation.
+// and call its Simulate method: all edge, FIFO, task, and leap-detection
+// state is then reused across runs instead of being reallocated per
+// simulation; after warm-up a Scratch.Simulate call performs no heap
+// allocations.
 //
 // Entry points: Simulate (one-shot) and NewScratch + Scratch.Simulate (the
 // engine's per-worker hot path); both return Stats with the simulated
 // makespan, deadlock flag, and RelativeError against the analytical
 // makespan. The simulator is cycle-exact and deterministic — no randomness,
 // fixed task evaluation order — so simulate-variant cells are pure
-// functions of (graph content, schedule, FIFO sizes) and cache cleanly;
-// a Scratch must not be shared between goroutines.
+// functions of (graph content, schedule, FIFO sizes) and cache cleanly
+// regardless of the engine; a Scratch must not be shared between goroutines.
 package desim
 
 import (
@@ -55,6 +79,11 @@ type Config struct {
 	DefaultCap int64
 	// MaxCycles aborts runaway simulations. Zero means 100 million.
 	MaxCycles int64
+	// Reference selects the unit-stepping reference engine instead of the
+	// event-leaping fast path. Both produce byte-identical Stats; the
+	// reference loop is kept as the executable specification and as the
+	// oracle for the differential tests and benchmarks.
+	Reference bool
 }
 
 // Stats reports the outcome of a simulation.
@@ -120,20 +149,29 @@ type taskState struct {
 }
 
 // Scratch holds reusable simulation state: the per-edge FIFO/memory records,
-// the per-task runtime records, the Finish vector, and the per-block working
-// sets. A Scratch must not be used from multiple goroutines at once; sweeps
-// allocate one per worker. The zero value is ready to use.
+// the per-task runtime records, the Finish vector, the per-block working
+// sets, and the leap engine's period-detection state. A Scratch must not be
+// used from multiple goroutines at once; sweeps allocate one per worker. The
+// zero value is ready to use.
 type Scratch struct {
 	stats    Stats
 	finish   []float64
 	edges    []edgeState
-	edgeIdx  map[[2]graph.NodeID]int32
 	tasks    []taskState
 	refs     []*edgeState // backing array carved into per-task inEdges/outEdges
 	order    []*taskState
 	bufs     []*taskState
+	blkEdges []*edgeState
 	inBlk    []bool
-	bufReady map[graph.NodeID]int64
+	wantStep []bool  // leap engine: tasks marked for re-examination
+	wakeAt   []int64 // leap engine: pending timed-wake cycle per task (0 = none)
+	events   []timedEvent
+	// leap engine: per-task counts of FIFO endpoints contributing to the
+	// live-occupancy proposal signal (leap.go).
+	nInLiveFifo []int32
+	nOutFifo    []int32
+	isCompute   []bool // leap engine: step() routes through the paced branch
+	leap        leapState
 }
 
 // NewScratch returns an empty Scratch ready for (re)use.
@@ -163,16 +201,11 @@ func (s *Scratch) Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*
 	stats := &s.stats
 
 	// Build edge states in deterministic (producer, successor-order) order.
-	if s.edgeIdx == nil {
-		s.edgeIdx = make(map[[2]graph.NodeID]int32, ne)
-	} else {
-		clear(s.edgeIdx)
-	}
 	if cap(s.edges) < ne {
 		s.edges = make([]edgeState, ne)
 	}
 	s.edges = s.edges[:ne]
-	ei := int32(0)
+	ei := 0
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
 		for _, w := range t.G.Succs(id) {
@@ -187,12 +220,14 @@ func (s *Scratch) Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*
 			} else {
 				es.kind = memoryEdge
 			}
-			s.edgeIdx[[2]graph.NodeID{id, w}] = ei
 			ei++
 		}
 	}
 
-	// Task states, with inEdges/outEdges carved out of one backing array.
+	// Task states, with inEdges/outEdges carved out of one backing array:
+	// out-edge lists follow edge construction order directly; in-edge lists
+	// are filled by a second pass over the edges (the simulator treats every
+	// in-edge set all-or-nothing, so their order is immaterial).
 	if cap(s.refs) < 2*ne {
 		s.refs = make([]*edgeState, 2*ne)
 	}
@@ -202,39 +237,51 @@ func (s *Scratch) Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*
 	}
 	s.tasks = s.tasks[:n]
 	off := 0
+	ei = 0
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
 		ts := &s.tasks[v]
 		*ts = taskState{id: id, node: t.Nodes[v], finish: -1}
 		preds := t.G.Preds(id)
-		in := s.refs[off : off : off+len(preds)]
-		for _, u := range preds {
-			in = append(in, &s.edges[s.edgeIdx[[2]graph.NodeID{u, id}]])
-		}
+		ts.inEdges = s.refs[off : off : off+len(preds)]
 		off += len(preds)
 		succs := t.G.Succs(id)
 		out := s.refs[off : off : off+len(succs)]
-		for _, w := range succs {
-			out = append(out, &s.edges[s.edgeIdx[[2]graph.NodeID{id, w}]])
+		for range succs {
+			out = append(out, &s.edges[ei])
+			ei++
 		}
 		off += len(succs)
-		ts.inEdges, ts.outEdges = in, out
+		ts.outEdges = out
 		ts.active = t.Nodes[v].Kind != core.Buffer
 	}
-
-	// Buffers are passive: track when each one filled so its readiness can
-	// be derived from producer completion.
-	if s.bufReady == nil {
-		s.bufReady = make(map[graph.NodeID]int64, 4)
-	} else {
-		clear(s.bufReady)
+	for i := range s.edges {
+		e := &s.edges[i]
+		to := &s.tasks[e.to]
+		to.inEdges = append(to.inEdges, e)
 	}
+
 	s.inBlk = scratch.GrowBools(s.inBlk, n)
+	if !cfg.Reference {
+		s.wantStep = scratch.GrowBools(s.wantStep, n)
+		s.wakeAt = scratch.GrowInts(s.wakeAt, n)
+		s.nInLiveFifo = scratch.GrowInt32s(s.nInLiveFifo, n)
+		s.nOutFifo = scratch.GrowInt32s(s.nOutFifo, n)
+		s.isCompute = scratch.GrowBools(s.isCompute, n)
+		s.events = s.events[:0]
+	}
+	s.leap.leaps, s.leap.leapedCycles, s.leap.stepped = 0, 0, 0
 
 	topo := t.G.Topo()
 	cycle := int64(0)
 	for bi, blk := range r.Partition.Blocks {
-		start, err := s.simulateBlock(blk, topo, cycle, cfg.MaxCycles)
+		var start int64
+		var err error
+		if cfg.Reference {
+			start, err = s.simulateBlock(blk, topo, cycle, cfg.MaxCycles)
+		} else {
+			start, err = s.simulateBlockLeap(blk, topo, cycle, cfg.MaxCycles)
+		}
 		if err != nil {
 			return stats, fmt.Errorf("desim: block %d: %w", bi, err)
 		}
@@ -253,20 +300,15 @@ func (s *Scratch) Simulate(t *core.TaskGraph, r *schedule.Result, cfg Config) (*
 	return stats, nil
 }
 
-// simulateBlock runs one spatial block to completion, starting at cycle
-// blockStart, and returns the barrier time for the next block.
-func (s *Scratch) simulateBlock(blk schedule.Block, topo []graph.NodeID,
-	blockStart, maxCycles int64) (int64, error) {
-
-	stats := &s.stats
+// prepareBlock marks the block's nodes, rebuilds the per-block working sets
+// (active tasks in reverse topological order, passive buffers), flags
+// already-satisfied tasks as done, and resolves buffers fed entirely by
+// earlier blocks. It returns the number of unfinished active tasks. The
+// working sets live on the Scratch so repeated simulations allocate nothing.
+func (s *Scratch) prepareBlock(blk schedule.Block, topo []graph.NodeID, blockStart int64) int {
 	for _, v := range blk.Nodes {
 		s.inBlk[v] = true
 	}
-	defer func() {
-		for _, v := range blk.Nodes {
-			s.inBlk[v] = false
-		}
-	}()
 
 	// Reverse topological order restricted to the block: consumers first.
 	order := s.order[:0]
@@ -284,41 +326,6 @@ func (s *Scratch) simulateBlock(blk schedule.Block, topo []graph.NodeID,
 	}
 	s.order, s.bufs = order, bufs
 
-	// resolveBufs marks passive buffers ready once every producer deposited
-	// all of its data; consumers can start reading the following cycle.
-	resolveBufs := func(now int64) bool {
-		progress := false
-		for _, b := range bufs {
-			if _, ok := s.bufReady[b.id]; ok {
-				continue
-			}
-			filled := true
-			last := now
-			for _, e := range b.inEdges {
-				if e.written < e.vol {
-					filled = false
-					break
-				}
-				if e.ready > last {
-					last = e.ready
-				}
-			}
-			if filled {
-				s.bufReady[b.id] = last
-				stats.Finish[b.id] = float64(last)
-				for _, e := range b.outEdges {
-					e.written = e.vol
-					// The buffer head spends a cycle emitting the first
-					// element (FO(buffer) = fill + 1 in Section 5.1), so
-					// consumers see data one cycle after the fill.
-					e.ready = last + 1
-				}
-				progress = true
-			}
-		}
-		return progress
-	}
-
 	pending := len(order)
 	for _, ts := range order {
 		if taskDone(ts) {
@@ -326,7 +333,111 @@ func (s *Scratch) simulateBlock(blk schedule.Block, topo []graph.NodeID,
 			pending--
 		}
 	}
-	resolveBufs(blockStart) // buffers fed entirely by earlier blocks
+	s.resolveBufs(blockStart, false) // buffers fed entirely by earlier blocks
+	return pending
+}
+
+// finishBlock resolves buffers completed by the block's last writes, clears
+// the block marks, and returns the barrier time for the next block: the next
+// block starts once every task of this block finished.
+func (s *Scratch) finishBlock(blk schedule.Block, blockStart, cycle int64) int64 {
+	s.resolveBufs(cycle, false)
+	for _, v := range blk.Nodes {
+		s.inBlk[v] = false
+	}
+	end := blockStart
+	for _, ts := range s.order {
+		if ts.finish > end {
+			end = ts.finish
+		}
+	}
+	for _, b := range s.bufs {
+		if b.finish > end {
+			// A buffer only delays the barrier if it is still filling, which
+			// cannot happen once all block tasks finished; kept for safety.
+			end = b.finish
+		}
+	}
+	return end
+}
+
+// resolveBufs marks passive buffers of the current block ready once every
+// producer deposited all of its data; consumers can start reading the
+// following cycle. With track set (the leap engine), a resolution also
+// wakes the out-edges' consumers and folds itself into the detector's
+// action hash — the data movement itself is identical for both engines.
+func (s *Scratch) resolveBufs(now int64, track bool) bool {
+	progress := false
+	for _, b := range s.bufs {
+		if b.finish >= 0 { // already resolved; buffers fill exactly once
+			continue
+		}
+		filled := true
+		last := now
+		for _, e := range b.inEdges {
+			if e.written < e.vol {
+				filled = false
+				break
+			}
+			if e.ready > last {
+				last = e.ready
+			}
+		}
+		if filled {
+			b.finish = last
+			s.stats.Finish[b.id] = float64(last)
+			for _, e := range b.outEdges {
+				e.written = e.vol
+				// The buffer head spends a cycle emitting the first
+				// element (FO(buffer) = fill + 1 in Section 5.1), so
+				// consumers see data one cycle after the fill.
+				e.ready = last + 1
+				if track {
+					s.wantStep[e.to] = true
+					s.events = append(s.events, timedEvent{at: e.ready + 1, task: e.to})
+				}
+			}
+			if track {
+				// Resolutions are actions too: fold them so a period can
+				// never be proposed across one.
+				s.leap.actHash = s.leap.actHash*0x100000001B3 ^ mixAct(uint64(b.id)<<2|3)
+			}
+			progress = true
+		}
+	}
+	return progress
+}
+
+// memoryWake returns the earliest future cycle at which some pending task's
+// memory input becomes readable, or math.MaxInt64 when no such edge exists
+// (a true deadlock). Called on quiet cycles only.
+func (s *Scratch) memoryWake(cycle int64) int64 {
+	wake := int64(math.MaxInt64)
+	for _, ts := range s.order {
+		if ts.done {
+			continue
+		}
+		for _, e := range ts.inEdges {
+			if e.kind == memoryEdge && e.ready >= cycle && e.consumed < e.written {
+				if e.ready < wake {
+					wake = e.ready
+				}
+			}
+		}
+	}
+	return wake
+}
+
+// simulateBlock runs one spatial block to completion with the unit-stepping
+// reference engine, starting at cycle blockStart, and returns the barrier
+// time for the next block. This loop is the executable specification that
+// simulateBlockLeap must reproduce cycle for cycle.
+func (s *Scratch) simulateBlock(blk schedule.Block, topo []graph.NodeID,
+	blockStart, maxCycles int64) (int64, error) {
+
+	stats := &s.stats
+	pending := s.prepareBlock(blk, topo, blockStart)
+	order := s.order
 
 	cycle := blockStart
 	for pending > 0 {
@@ -349,25 +460,13 @@ func (s *Scratch) simulateBlock(blk schedule.Block, topo []graph.NodeID,
 				}
 			}
 		}
-		if resolveBufs(cycle) {
+		if s.resolveBufs(cycle, false) {
 			progress = true
 		}
 		if !progress {
 			// A quiet cycle is not a deadlock if some pending task waits on
 			// a memory edge that becomes readable later; fast-forward to it.
-			wake := int64(math.MaxInt64)
-			for _, ts := range order {
-				if ts.done {
-					continue
-				}
-				for _, e := range ts.inEdges {
-					if e.kind == memoryEdge && e.ready >= cycle && e.consumed < e.written {
-						if e.ready < wake {
-							wake = e.ready
-						}
-					}
-				}
-			}
+			wake := s.memoryWake(cycle)
 			if wake == math.MaxInt64 {
 				stats.Deadlocked = true
 				stats.DeadlockCycle = cycle
@@ -376,23 +475,7 @@ func (s *Scratch) simulateBlock(blk schedule.Block, topo []graph.NodeID,
 			cycle = wake // readable from wake+1; loop increments
 		}
 	}
-	resolveBufs(cycle) // buffers completed by this block's last writes
-
-	// Barrier: next block starts once every task of this block finished.
-	end := blockStart
-	for _, ts := range order {
-		if ts.finish > end {
-			end = ts.finish
-		}
-	}
-	for _, b := range bufs {
-		if r, ok := s.bufReady[b.id]; ok && r > end {
-			// A buffer only delays the barrier if it is still filling, which
-			// cannot happen once all block tasks finished; kept for safety.
-			end = r
-		}
-	}
-	return end, nil
+	return s.finishBlock(blk, blockStart, cycle), nil
 }
 
 // taskDone reports whether the node has consumed and produced everything.

@@ -1,0 +1,68 @@
+package desim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffers"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/synth"
+)
+
+// TestLeapEngagesOnGoldenGraphs asserts that the fast path actually replays
+// a substantial share of every golden graph's cycles instead of quietly
+// degrading to unit stepping: the run counters on the Scratch expose how
+// many cycles were leaped vs stepped exactly.
+func TestLeapEngagesOnGoldenGraphs(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cases := []struct {
+		name     string
+		variant  schedule.Variant
+		p        int
+		minShare float64 // leaped cycles / total cycles
+	}{
+		{"chain", schedule.SBLTS, 4, 0.5},
+		{"fft", schedule.SBLTS, 64, 0.5},
+		{"gaussian", schedule.SBRLX, 64, 0.2},
+		{"cholesky", schedule.SBLTS, 64, 0.2},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(1))
+		var tg *core.TaskGraph
+		switch tc.name {
+		case "fft":
+			tg = synth.FFT(32, rng, cfg)
+		case "gaussian":
+			tg = synth.Gaussian(16, rng, cfg)
+		case "cholesky":
+			tg = synth.Cholesky(8, rng, cfg)
+		default:
+			tg = synth.Chain(8, rng, cfg)
+		}
+		part, err := schedule.Algorithm1(tg, tc.p, schedule.Options{Variant: tc.variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := schedule.Schedule(tg, part, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewScratch()
+		st, err := s.Simulate(tg, res, Config{FIFOCap: buffers.SizeMap(tg, res)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		share := float64(s.leap.leapedCycles) / float64(st.Cycles)
+		t.Logf("%s: cycles=%d stepped=%d leaps=%d leaped=%d (%.0f%%)",
+			tc.name, st.Cycles, s.leap.stepped, s.leap.leaps, s.leap.leapedCycles, 100*share)
+		if s.leap.stepped+s.leap.leapedCycles != st.Cycles {
+			t.Errorf("%s: stepped %d + leaped %d != total cycles %d",
+				tc.name, s.leap.stepped, s.leap.leapedCycles, st.Cycles)
+		}
+		if share < tc.minShare {
+			t.Errorf("%s: leap engine replayed only %.0f%% of cycles, want >= %.0f%% — the fast path degraded",
+				tc.name, 100*share, 100*tc.minShare)
+		}
+	}
+}

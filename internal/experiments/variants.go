@@ -7,7 +7,6 @@ import (
 	"repro/internal/buffers"
 	"repro/internal/core"
 	"repro/internal/csdf"
-	"repro/internal/desim"
 	"repro/internal/heft"
 	"repro/internal/schedule"
 )
@@ -79,7 +78,7 @@ func (v streamSweepVariant) Eval(ctx *EvalContext, tg *core.TaskGraph, p EvalPar
 		"util":    res.Utilization(tg, p.PEs),
 	}
 	if p.Simulate {
-		st, err := ctx.Sim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+		st, err := ctx.Sim.Simulate(tg, res, ctx.SimConfig(buffers.SizeMap(tg, res)))
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +218,7 @@ func (ablationVariant) Eval(ctx *EvalContext, tg *core.TaskGraph, p EvalParams) 
 	if err != nil {
 		return nil, err
 	}
-	sized, err := ctx.Sim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res)})
+	sized, err := ctx.Sim.Simulate(tg, res, ctx.SimConfig(buffers.SizeMap(tg, res)))
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +227,9 @@ func (ablationVariant) Eval(ctx *EvalContext, tg *core.TaskGraph, p EvalParams) 
 		return nil, fmt.Errorf("sized simulation deadlocked")
 	}
 	sizedMakespan := sized.Makespan // copy before the scratch is reused
-	unit, err := ctx.Sim.Simulate(tg, res, desim.Config{DefaultCap: 1})
+	unitCfg := ctx.SimConfig(nil)
+	unitCfg.DefaultCap = 1
+	unit, err := ctx.Sim.Simulate(tg, res, unitCfg)
 	if err != nil {
 		return nil, err
 	}
