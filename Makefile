@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fuzz-smoke verify
+.PHONY: build test race bench bench-diff bench-smoke fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_5.json, the committed benchmark baseline
-# (fixed iteration counts; format documented in the README).
+# bench writes the next numbered BENCH_<N>.json benchmark baseline (fixed
+# iteration counts, min of 3 repetitions; format documented in the README).
+# Committing the new file blesses the current performance as the baseline.
 bench:
 	$(GO) run ./cmd/bench
+
+# bench-diff gates a fresh benchmark run against the latest committed
+# baseline and fails on regressions. The ns/op tolerance is sized to noisy
+# shared hardware (suite-median drift is normalized out first); allocs/op
+# must match the baseline exactly. To bless an intentional regression, run
+# `make bench` and commit the new BENCH_<N>.json it writes.
+bench-diff:
+	$(GO) run ./cmd/bench -diff latest -tolerance 50
 
 # bench-smoke runs every benchmark once — the CI guard that benchmarks
 # still compile and complete, without timing anything meaningful.

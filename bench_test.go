@@ -121,13 +121,15 @@ func BenchmarkFig12(b *testing.B) {
 }
 
 // BenchmarkFig13Simulation measures the Appendix B discrete-event
-// validation of one scheduled graph on both desim engines: Leap is the
-// event-leaping fast path the fig13/ablation sweeps run on, Reference is
-// the unit-stepping oracle loop kept as the executable specification. Each
-// sub-benchmark reuses one Scratch, exactly like the sweep workers do
-// (after warm-up the simulation allocates nothing). The two engines'
-// Stats are byte-identical; only their speed differs, and BENCH_5.json
-// records the gap as part of the repository's performance trajectory.
+// validation of one scheduled graph on all three desim engines: Leap is
+// the event-leaping fast path, Reference is the unit-stepping oracle loop
+// kept as the executable specification, and Auto is the cost-model pick
+// the sweeps now default to. Each sub-benchmark reuses one Scratch,
+// exactly like the sweep workers do (after warm-up the simulation
+// allocates nothing). All engines' Stats are byte-identical; only their
+// speed differs, and the committed BENCH_*.json baseline records the gap
+// as part of the repository's performance trajectory — Auto must stay
+// within ~5% of whichever fixed engine is faster per topology.
 func BenchmarkFig13Simulation(b *testing.B) {
 	for name, tg := range topologies(synth.SmallConfig()) {
 		p := 32
@@ -144,12 +146,12 @@ func BenchmarkFig13Simulation(b *testing.B) {
 		}
 		caps := buffers.SizeMap(tg, res)
 		for _, eng := range []struct {
-			name      string
-			reference bool
-		}{{"Leap", false}, {"Reference", true}} {
+			name   string
+			engine desim.Engine
+		}{{"Leap", desim.EngineLeap}, {"Reference", desim.EngineReference}, {"Auto", desim.EngineAuto}} {
 			b.Run(name+"/"+eng.name, func(b *testing.B) {
 				s := desim.NewScratch()
-				cfg := desim.Config{FIFOCap: caps, Reference: eng.reference}
+				cfg := desim.Config{FIFOCap: caps, Engine: eng.engine}
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					st, err := s.Simulate(tg, res, cfg)

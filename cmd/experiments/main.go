@@ -36,9 +36,11 @@
 // stderr. A run whose jobs partly failed still writes its output but exits
 // nonzero.
 //
-// Simulating experiments run on desim's event-leaping engine; -sim-engine
-// reference selects the unit-stepping oracle loop for A/B timing (cells are
-// byte-identical either way, so caches and artifacts are unaffected).
+// Simulating experiments run on desim's auto engine, which picks the
+// event-leaping fast path or the unit-stepping reference loop per simulation
+// via a cost model; -sim-engine leap or -sim-engine reference forces one
+// engine for A/B timing (cells are byte-identical in every mode, so caches
+// and artifacts are unaffected).
 // -cpuprofile and -memprofile write pprof profiles of the run — also with
 // -agent — so sweep hot spots can be inspected without a test harness.
 //
@@ -63,6 +65,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/desim"
 	"repro/internal/distrib"
 	"repro/internal/experiments"
 	"repro/internal/results"
@@ -89,7 +92,7 @@ func main() {
 	leaseTimeout := flag.Duration("lease-timeout", distrib.DefaultLeaseTimeout, "with -serve: requeue a leased batch not completed within this duration")
 	batch := flag.Int("batch", distrib.DefaultBatchSize, "with -serve: jobs granted per lease")
 	status := flag.String("status", "", "print the status JSON of the coordinator at this URL, then exit")
-	simEngine := flag.String("sim-engine", "leap", "discrete-event engine for simulate cells: leap (event-leaping fast path) or reference (unit-stepping oracle); results are byte-identical")
+	simEngine := flag.String("sim-engine", "auto", "discrete-event engine for simulate cells: auto (cost-model pick), leap (event-leaping fast path), or reference (unit-stepping oracle); results are byte-identical")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
@@ -114,13 +117,9 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 	simEngine, cpuProfile, memProfile string,
 	explicit map[string]bool, args []string) error {
 
-	var referenceSim bool
-	switch simEngine {
-	case "leap":
-	case "reference":
-		referenceSim = true
-	default:
-		return fmt.Errorf("unknown -sim-engine %q (want leap or reference)", simEngine)
+	engine, err := desim.ParseEngine(simEngine)
+	if err != nil {
+		return fmt.Errorf("-sim-engine: %w", err)
 	}
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
@@ -218,7 +217,7 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 	if err != nil {
 		return err
 	}
-	runner := experiments.Runner{Workers: workers, ShardIndex: idx, ShardCount: count, ReferenceSim: referenceSim}
+	runner := experiments.Runner{Workers: workers, ShardIndex: idx, ShardCount: count, SimEngine: engine}
 	var cache *results.Cache
 	if cacheDir != "" {
 		cache, err = results.OpenCache(cacheDir)

@@ -60,7 +60,7 @@ func run() error {
 		pes       = flag.Int("pes", 4, "number of processing elements")
 		variant   = flag.String("variant", "lts", "spatial block heuristic: lts or rlx")
 		sim       = flag.Bool("sim", false, "validate the schedule with the discrete-event simulator")
-		simEngine = flag.String("sim-engine", "leap", "simulator engine for -sim: leap (event-leaping fast path) or reference (unit-stepping oracle); results are identical")
+		simEngine = flag.String("sim-engine", "auto", "simulator engine for -sim: auto (cost-model pick), leap (event-leaping fast path), or reference (unit-stepping oracle); results are identical")
 		dotPath   = flag.String("dot", "", "write the task graph in Graphviz DOT format to this file")
 		showTasks = flag.Bool("tasks", false, "print the per-task schedule table")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
@@ -167,15 +167,11 @@ func run() error {
 	}
 
 	if *sim {
-		var refEngine bool
-		switch *simEngine {
-		case "leap":
-		case "reference":
-			refEngine = true
-		default:
-			return fmt.Errorf("unknown -sim-engine %q (want leap or reference)", *simEngine)
+		engine, err := desim.ParseEngine(*simEngine)
+		if err != nil {
+			return fmt.Errorf("-sim-engine: %w", err)
 		}
-		st, err := desim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res), Reference: refEngine})
+		st, err := desim.Simulate(tg, res, desim.Config{FIFOCap: buffers.SizeMap(tg, res), Engine: engine})
 		if err != nil {
 			return err
 		}

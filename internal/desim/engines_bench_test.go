@@ -24,11 +24,14 @@ func benchCase(b *testing.B, name string, variant schedule.Variant, p int) (*cor
 	return tg, res
 }
 
-// BenchmarkDesimEngines contrasts the unit-stepping reference loop with the
-// event-leaping fast path on the golden graphs (DefaultConfig volumes, the
-// same shapes the golden simulation table pins). The leap engine's advantage
-// grows with the makespan: these graphs stream for hundreds to thousands of
-// cycles, most of them inside replayable steady-state periods.
+// BenchmarkDesimEngines contrasts the unit-stepping reference loop, the
+// event-leaping fast path, and the Auto cost-model pick on the golden graphs
+// (DefaultConfig volumes, the same shapes the golden simulation table pins).
+// The leap engine's advantage grows with the makespan: these graphs stream
+// for hundreds to thousands of cycles, most of them inside replayable
+// steady-state periods — except cholesky, which is event-dense enough that
+// the reference loop wins and Auto must route accordingly. The acceptance
+// bound for Auto is ~5% over min(Reference, Leap) per family.
 func BenchmarkDesimEngines(b *testing.B) {
 	cases := []struct {
 		graph   string
@@ -44,12 +47,12 @@ func BenchmarkDesimEngines(b *testing.B) {
 		tg, res := benchCase(b, tc.graph, tc.variant, tc.p)
 		caps := buffers.SizeMap(tg, res)
 		for _, eng := range []struct {
-			name      string
-			reference bool
-		}{{"Reference", true}, {"Leap", false}} {
+			name   string
+			engine desim.Engine
+		}{{"Reference", desim.EngineReference}, {"Leap", desim.EngineLeap}, {"Auto", desim.EngineAuto}} {
 			b.Run(tc.graph+"/"+eng.name, func(b *testing.B) {
 				s := desim.NewScratch()
-				cfg := desim.Config{FIFOCap: caps, Reference: eng.reference}
+				cfg := desim.Config{FIFOCap: caps, Engine: eng.engine}
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					st, err := s.Simulate(tg, res, cfg)
@@ -92,12 +95,12 @@ func BenchmarkDesimLongMakespan(b *testing.B) {
 	}
 	caps := buffers.SizeMap(tg, res)
 	for _, eng := range []struct {
-		name      string
-		reference bool
-	}{{"Reference", true}, {"Leap", false}} {
+		name   string
+		engine desim.Engine
+	}{{"Reference", desim.EngineReference}, {"Leap", desim.EngineLeap}, {"Auto", desim.EngineAuto}} {
 		b.Run(eng.name, func(b *testing.B) {
 			s := desim.NewScratch()
-			cfg := desim.Config{FIFOCap: caps, Reference: eng.reference}
+			cfg := desim.Config{FIFOCap: caps, Engine: eng.engine}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				st, err := s.Simulate(tg, res, cfg)

@@ -127,13 +127,6 @@ type leapState struct {
 	// period, e.g. right after a fill transient settles.
 	refHash  uint64
 	refUntil int64
-
-	// Run counters, reset per Simulate: cycles advanced by replay vs.
-	// stepped exactly. Tests use them to assert the fast path actually
-	// engages; they also make "why was this run slow" answerable.
-	leaps        int64
-	leapedCycles int64
-	stepped      int64
 }
 
 // sizeFor grows the detector's arrays for a block with n live tasks and ne
@@ -288,6 +281,7 @@ func (lp *leapState) anchor(s *Scratch, live []*taskState, cycle int64, h uint64
 	lp.aCycle = cycle
 	lp.aHash = h
 	lp.confirmAt = cycle + period
+	s.stats.Leap.Proposed++
 }
 
 // stateMatchesAnchor reports whether the current control state equals the
@@ -544,7 +538,7 @@ func (s *Scratch) simulateBlockLeap(blk schedule.Block, topo []graph.NodeID,
 		if cycle-blockStart > maxCycles {
 			return cycle, fmt.Errorf("exceeded %d cycles", maxCycles)
 		}
-		lp.stepped++
+		stats.Leap.SteppedCycles++
 		s.processDue(cycle)
 		lp.actHash = 0
 		progress := false
@@ -604,6 +598,7 @@ func (s *Scratch) simulateBlockLeap(blk schedule.Block, topo []graph.NodeID,
 				live = compactTasks(live)
 				s.blkEdges = s.compactEdges(s.blkEdges)
 				compactBelow = 3 * pending / 4
+				stats.Leap.Compactions++
 			}
 			lp.restart(cycle + 1)
 			continue
@@ -630,11 +625,12 @@ func (s *Scratch) simulateBlockLeap(blk schedule.Block, topo []graph.NodeID,
 		if lp.anchored && cycle == lp.confirmAt {
 			period := cycle - lp.aCycle
 			if h == lp.aHash && s.stateMatchesAnchor(live, cycle) {
+				stats.Leap.Verified++
 				if n := s.leapBound(live, blockStart, maxCycles, cycle, period); n >= 1 {
 					s.applyLeap(live, n)
 					cycle += n * period
-					lp.leaps++
-					lp.leapedCycles += n * period
+					stats.Leap.Leaps++
+					stats.Leap.LeapedCycles += n * period
 					lp.refUntil = 0
 					lp.restart(cycle + 1)
 					continue
@@ -645,7 +641,11 @@ func (s *Scratch) simulateBlockLeap(blk schedule.Block, topo []graph.NodeID,
 			} else if h == lp.aHash {
 				// The action pattern repeats but the state drifts: mute the
 				// hash for a while instead of re-paying the compare.
+				stats.Leap.Refuted++
 				lp.refHash, lp.refUntil = h, cycle+refRetry
+			} else {
+				// The action pattern itself changed before confirmation.
+				stats.Leap.Refuted++
 			}
 			lp.anchored = false
 		}

@@ -66,37 +66,41 @@ func diffCaps(tg *core.TaskGraph, res *schedule.Result, mode int) (map[[2]graph.
 	}
 }
 
-// runBoth simulates one scheduled graph with the reference and the leap
-// engine and fails the test unless every Stats field — including the Finish
-// vector and the deadlock cycle — is identical.
+// runBoth simulates one scheduled graph with the reference loop as the
+// oracle and requires the leap engine AND the Auto picker to produce
+// identical semantic Stats — the Finish vector and the deadlock cycle
+// included. Auto resolves to one of the two engines, so checking it both
+// exercises the cost-model path and proves the default configuration stays
+// inside the byte-identity contract.
 func runBoth(t testing.TB, tg *core.TaskGraph, res *schedule.Result,
 	caps map[[2]graph.NodeID]int64, defaultCap, maxCycles int64) {
 	t.Helper()
-	refScratch, leapScratch := NewScratch(), NewScratch()
-	ref, refErr := refScratch.Simulate(tg, res, Config{
-		FIFOCap: caps, DefaultCap: defaultCap, MaxCycles: maxCycles, Reference: true,
+	ref, refErr := NewScratch().Simulate(tg, res, Config{
+		FIFOCap: caps, DefaultCap: defaultCap, MaxCycles: maxCycles, Engine: EngineReference,
 	})
-	lp, lpErr := leapScratch.Simulate(tg, res, Config{
-		FIFOCap: caps, DefaultCap: defaultCap, MaxCycles: maxCycles,
-	})
-	if (refErr != nil) != (lpErr != nil) {
-		t.Fatalf("engines disagree on error: reference=%v leap=%v", refErr, lpErr)
-	}
-	if refErr != nil {
-		if refErr.Error() != lpErr.Error() {
-			t.Fatalf("engines disagree on error text: reference=%v leap=%v", refErr, lpErr)
+	for _, engine := range []Engine{EngineLeap, EngineAuto} {
+		lp, lpErr := NewScratch().Simulate(tg, res, Config{
+			FIFOCap: caps, DefaultCap: defaultCap, MaxCycles: maxCycles, Engine: engine,
+		})
+		if (refErr != nil) != (lpErr != nil) {
+			t.Fatalf("engines disagree on error: reference=%v %v=%v", refErr, engine, lpErr)
 		}
-		return
-	}
-	if ref.Makespan != lp.Makespan || ref.Deadlocked != lp.Deadlocked ||
-		ref.DeadlockCycle != lp.DeadlockCycle || ref.Cycles != lp.Cycles {
-		t.Fatalf("stats diverge: reference makespan=%g deadlock=%v@%d cycles=%d, leap makespan=%g deadlock=%v@%d cycles=%d",
-			ref.Makespan, ref.Deadlocked, ref.DeadlockCycle, ref.Cycles,
-			lp.Makespan, lp.Deadlocked, lp.DeadlockCycle, lp.Cycles)
-	}
-	for v := range ref.Finish {
-		if ref.Finish[v] != lp.Finish[v] {
-			t.Fatalf("Finish[%d] diverges: reference %g, leap %g", v, ref.Finish[v], lp.Finish[v])
+		if refErr != nil {
+			if refErr.Error() != lpErr.Error() {
+				t.Fatalf("engines disagree on error text: reference=%v %v=%v", refErr, engine, lpErr)
+			}
+			continue
+		}
+		if ref.Makespan != lp.Makespan || ref.Deadlocked != lp.Deadlocked ||
+			ref.DeadlockCycle != lp.DeadlockCycle || ref.Cycles != lp.Cycles {
+			t.Fatalf("stats diverge: reference makespan=%g deadlock=%v@%d cycles=%d, %v makespan=%g deadlock=%v@%d cycles=%d",
+				ref.Makespan, ref.Deadlocked, ref.DeadlockCycle, ref.Cycles,
+				engine, lp.Makespan, lp.Deadlocked, lp.DeadlockCycle, lp.Cycles)
+		}
+		for v := range ref.Finish {
+			if ref.Finish[v] != lp.Finish[v] {
+				t.Fatalf("Finish[%d] diverges: reference %g, %v %g", v, ref.Finish[v], engine, lp.Finish[v])
+			}
 		}
 	}
 }
@@ -235,8 +239,7 @@ func TestLeapActuallyLeaps(t *testing.T) {
 		prev = cur
 	}
 	res := schedAll(t, tg)
-	s := NewScratch()
-	st, err := s.Simulate(tg, res, Config{FIFOCap: buffers.SizeMap(tg, res)})
+	st, err := NewScratch().Simulate(tg, res, Config{FIFOCap: buffers.SizeMap(tg, res), Engine: EngineLeap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,9 +251,17 @@ func TestLeapActuallyLeaps(t *testing.T) {
 	}
 	// Nearly the whole makespan must be replayed arithmetically; pure unit
 	// stepping would leave the leap counters at zero.
-	if s.leap.leapedCycles < int64(k)/2 {
+	if st.Leap.LeapedCycles < int64(k)/2 {
 		t.Fatalf("leap engine replayed only %d of %d cycles; the fast path degraded to unit stepping",
-			s.leap.leapedCycles, st.Cycles)
+			st.Leap.LeapedCycles, st.Cycles)
+	}
+	if st.Leap.Verified < 1 || st.Leap.Proposed < st.Leap.Verified {
+		t.Fatalf("inconsistent detector counters: %+v", st.Leap)
+	}
+	// Such a long steady state is exactly what the cost model must route to
+	// the leap engine.
+	if auto, _ := NewScratch().Simulate(tg, res, Config{FIFOCap: buffers.SizeMap(tg, res)}); auto.Leap.Engine != EngineLeap {
+		t.Fatalf("Auto picked %v for a steady-state-dominated pipeline, want leap", auto.Leap.Engine)
 	}
 }
 
@@ -260,13 +271,10 @@ func TestSimulateAllocFree(t *testing.T) {
 	tg := fig9Graph1()
 	res := schedAll(t, tg)
 	caps := buffers.SizeMap(tg, res)
-	for _, tc := range []struct {
-		name      string
-		reference bool
-	}{{"reference", true}, {"leap", false}} {
-		t.Run(tc.name, func(t *testing.T) {
+	for _, engine := range []Engine{EngineReference, EngineLeap, EngineAuto} {
+		t.Run(engine.String(), func(t *testing.T) {
 			s := NewScratch()
-			cfg := Config{FIFOCap: caps, Reference: tc.reference}
+			cfg := Config{FIFOCap: caps, Engine: engine}
 			if _, err := s.Simulate(tg, res, cfg); err != nil { // warm up
 				t.Fatal(err)
 			}

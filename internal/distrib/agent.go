@@ -80,6 +80,32 @@ func (a *Agent) worker() string {
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
+// newIdleTimer returns a stopped, drained timer ready for sleepCtx: the
+// polling and retry loops reset this one timer instead of allocating a
+// fresh time.After channel (and its runtime timer) on every iteration.
+func newIdleTimer() *time.Timer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}
+
+// sleepCtx waits d on the reused timer t or returns the context's error as
+// soon as it is canceled, leaving t stopped and drained for the next wait.
+func sleepCtx(ctx context.Context, t *time.Timer, d time.Duration) error {
+	t.Reset(d)
+	select {
+	case <-ctx.Done():
+		if !t.Stop() {
+			<-t.C
+		}
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Run executes the agent loop until the run completes, the context is
 // canceled, or the coordinator becomes unreachable after the session
 // started (a vanished coordinator ends the session cleanly: whatever this
@@ -108,6 +134,8 @@ func (a *Agent) Run(ctx context.Context) (AgentReport, error) {
 	fmt.Fprintf(a.log(), "distrib: agent %s joined run %s: %d jobs total, batches of %d\n",
 		worker, info.Run, info.Jobs, info.BatchSize)
 
+	idle := newIdleTimer()
+	defer idle.Stop()
 	for {
 		if err := ctx.Err(); err != nil {
 			return rep, err
@@ -128,10 +156,8 @@ func (a *Agent) Run(ctx context.Context) (AgentReport, error) {
 			if wait <= 0 {
 				wait = time.Second
 			}
-			select {
-			case <-ctx.Done():
-				return rep, ctx.Err()
-			case <-time.After(wait):
+			if err := sleepCtx(ctx, idle, wait); err != nil {
+				return rep, err
 			}
 			continue
 		}
@@ -190,6 +216,8 @@ func (a *Agent) fetchRunInfo(ctx context.Context) (RunInfo, error) {
 		wait = 30 * time.Second
 	}
 	deadline := time.Now().Add(wait)
+	retry := newIdleTimer()
+	defer retry.Stop()
 	var info RunInfo
 	for {
 		err := a.getJSON(ctx, "/v1/run", &info)
@@ -203,10 +231,8 @@ func (a *Agent) fetchRunInfo(ctx context.Context) (RunInfo, error) {
 		if time.Now().After(deadline) {
 			return RunInfo{}, fmt.Errorf("distrib: agent: coordinator at %s unreachable after %v: %w", a.URL, wait, err)
 		}
-		select {
-		case <-ctx.Done():
-			return RunInfo{}, ctx.Err()
-		case <-time.After(300 * time.Millisecond):
+		if err := sleepCtx(ctx, retry, 300*time.Millisecond); err != nil {
+			return RunInfo{}, err
 		}
 	}
 }

@@ -3,7 +3,10 @@ package distrib
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -207,5 +210,77 @@ func TestStatusEndpoint(t *testing.T) {
 	w, ok := st.Workers["w"]
 	if !ok || w.Leases != 1 || w.Completed != len(l.Jobs) {
 		t.Fatalf("worker stats = %+v, want one lease with %d completions", st.Workers, len(l.Jobs))
+	}
+}
+
+// A canceled context must end an agent promptly even while it is parked in
+// the empty-lease backoff: the wait runs on a reused timer that observes
+// cancelation, it does not sleep out the coordinator's RetryAfter.
+func TestAgentShutdownPromptDuringBackoff(t *testing.T) {
+	specs := testSpecs("pipeline")
+	coord, err := NewCoordinator(specs, CoordinatorOptions{LeaseTimeout: time.Minute})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	// Pass join traffic through to the real coordinator, but answer every
+	// lease request with "nothing available, retry in an hour".
+	real := coord.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(LeaseResponse{RetryAfter: time.Hour})
+	})
+	mux.Handle("/", real)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	a := &Agent{URL: srv.URL, Worker: "backoff", Workers: 1, Log: io.Discard}
+	go func() {
+		_, err := a.Run(ctx)
+		done <- err
+	}()
+
+	time.Sleep(200 * time.Millisecond) // let the agent join and park in backoff
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("agent took %v to observe cancelation mid-backoff", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent still running 5s after cancelation; backoff ignored the context")
+	}
+}
+
+// Cancelation is equally prompt while the agent is still retrying the
+// initial join against an unreachable coordinator.
+func TestAgentShutdownPromptDuringConnectRetry(t *testing.T) {
+	a := &Agent{URL: "http://127.0.0.1:1", Worker: "joining", Log: io.Discard,
+		ConnectWait: time.Minute, Client: &http.Client{Timeout: 100 * time.Millisecond}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Run(ctx)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("agent took %v to observe cancelation during connect retries", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent still retrying 5s after cancelation")
 	}
 }

@@ -97,11 +97,12 @@ type Runner struct {
 	// per sweep; RunPlan always uses the plan's own cache, which is shared
 	// with table rendering.
 	Cache *GraphCache
-	// ReferenceSim makes every worker run desim's unit-stepping reference
-	// engine instead of the event-leaping fast path (flag -sim-engine
-	// reference). Both engines produce byte-identical Stats, so cells and
-	// cache keys are engine-independent; this is the A/B seam.
-	ReferenceSim bool
+	// SimEngine selects the desim engine every worker uses (flag
+	// -sim-engine). The zero value desim.EngineAuto lets the cost model pick
+	// per simulation; the fixed settings are the A/B seam. All engines
+	// produce byte-identical Stats, so cells and cache keys are
+	// engine-independent.
+	SimEngine desim.Engine
 	// Results, when set, is the persistent cell cache: a job whose
 	// (graph fingerprint, PEs, variant, simulate) content key is already
 	// stored returns the stored values instead of recomputing, and newly
@@ -232,7 +233,7 @@ func (r Runner) runJobs(jobs []CellJob, graphs *GraphCache) ([]*results.Cell, Re
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := &EvalContext{Sched: schedule.NewScheduler(), Sim: desim.NewScratch(), ReferenceSim: r.ReferenceSim, measure: r.measure()}
+			ws := &EvalContext{Sched: schedule.NewScheduler(), Sim: desim.NewScratch(), SimEngine: r.SimEngine, measure: r.measure()}
 			for i := range idxCh {
 				t0 := time.Now()
 				cell, cached, err := r.runCellJob(jobs[i], graphs, ws)

@@ -20,12 +20,13 @@ type EvalContext struct {
 	Sched *schedule.Scheduler
 	// Sim is the worker's scratch discrete-event simulator.
 	Sim *desim.Scratch
-	// ReferenceSim selects desim's unit-stepping reference engine instead
-	// of the event-leaping fast path for every simulation this worker runs
-	// (Runner.ReferenceSim, cmd flag -sim-engine). Both engines produce
-	// byte-identical Stats, so cells — and their cache keys — do not
-	// depend on it; it exists for A/B benchmarking.
-	ReferenceSim bool
+	// SimEngine selects the desim engine for every simulation this worker
+	// runs (Runner.SimEngine, cmd flag -sim-engine). The zero value is
+	// desim.EngineAuto, which picks leap vs reference per simulation via the
+	// cost model. All engines produce byte-identical Stats, so cells — and
+	// their cache keys — do not depend on it; fixed settings exist for A/B
+	// benchmarking.
+	SimEngine desim.Engine
 	// measure times a region of an evaluation; tests inject a fixed clock to
 	// make the measured columns deterministic.
 	measure func(func()) time.Duration
@@ -34,7 +35,7 @@ type EvalContext struct {
 // SimConfig returns the desim configuration variants must use: the given
 // FIFO capacities plus this worker's engine selection.
 func (c *EvalContext) SimConfig(caps map[[2]graph.NodeID]int64) desim.Config {
-	return desim.Config{FIFOCap: caps, Reference: c.ReferenceSim}
+	return desim.Config{FIFOCap: caps, Engine: c.SimEngine}
 }
 
 // NewEvalContext returns a context with fresh scratch state and a wall-clock
