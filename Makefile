@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-diff bench-smoke fuzz-smoke verify
+.PHONY: build test race bench bench-diff bench-smoke fuzz-smoke loadtest-smoke verify
 
 build:
 	$(GO) build ./...
@@ -37,5 +37,12 @@ bench-smoke:
 # unit-stepping reference loop on random graphs, schedules, and FIFO sizes.
 fuzz-smoke:
 	$(GO) test ./internal/desim -run '^$$' -fuzz FuzzDesimLeapVsReference -fuzztime 20s
+
+# loadtest-smoke drives a short fixed-seed open-loop load test against an
+# in-process scheduling service and fails on any error or dropped accepted
+# job (docs/SERVICE.md; the committed LOAD_<N>.json artifacts come from the
+# longer 30s variant of the same command).
+loadtest-smoke:
+	$(GO) run ./cmd/streamsched -loadtest -rate 50 -requests 100 -seed 7 -workload synth:fft -pes 8
 
 verify: build test bench-smoke

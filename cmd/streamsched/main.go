@@ -9,6 +9,9 @@
 //	streamsched -graph app.json -pes 16 -variant rlx -sim   # JSON input
 //	streamsched -model encoder -pes 256                     # ML model graphs
 //	streamsched -synth fft -size 32 -sweep 32,64,96,128     # parallel PE sweep
+//	streamsched -serve :8080                                # always-on service
+//	streamsched -loadtest -rate 20 -requests 600            # in-process load test
+//	streamsched -loadgen http://127.0.0.1:8080 -rate 50     # load a live service
 //
 // JSON graphs list canonical nodes (kind: compute/buffer/source/sink with
 // per-edge in/out volumes) and edges as node-index pairs; see
@@ -21,25 +24,36 @@
 // including sharding across processes, artifact merging, and the
 // persistent results cache — use cmd/experiments; docs/ARCHITECTURE.md
 // maps how the two commands share the scheduling and experiment layers.
+//
+// -serve runs the always-on scheduling service of internal/service:
+// streaming JSON submissions on POST /v1/submit, long-pollable results on
+// GET /v1/result/{id}, health on GET /v1/statusz, admission control
+// (-queue-cap, 429 + Retry-After past the cap), and batched scheduling
+// ticks (-tick). SIGINT/SIGTERM drains in-flight jobs before exiting.
+// docs/SERVICE.md documents the protocol and the load-test workflow.
+//
+// The batch scheduling and reporting logic lives in internal/streamcli;
+// this file only parses flags and routes between the three modes.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
+	"net/http"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/buffers"
-	"repro/internal/core"
 	"repro/internal/desim"
-	"repro/internal/experiments"
-	"repro/internal/graph"
 	"repro/internal/noc"
 	"repro/internal/schedule"
-	"repro/internal/synth"
+	"repro/internal/service"
+	"repro/internal/streamcli"
 	"repro/internal/trace"
 )
 
@@ -56,7 +70,7 @@ func run() error {
 		synthName = flag.String("synth", "", "generate a synthetic graph: chain, fft, gaussian, cholesky")
 		model     = flag.String("model", "", "generate an ML model graph: resnet, encoder, vgg, mlp (add -full for published sizes)")
 		size      = flag.Int("size", 8, "synthetic size parameter (tasks, points, matrix, or tiles)")
-		seed      = flag.Int64("seed", 1, "random seed for synthetic volumes")
+		seed      = flag.Int64("seed", 1, "random seed for synthetic volumes (and load-test arrivals)")
 		pes       = flag.Int("pes", 4, "number of processing elements")
 		variant   = flag.String("variant", "lts", "spatial block heuristic: lts or rlx")
 		sim       = flag.Bool("sim", false, "validate the schedule with the discrete-event simulator")
@@ -68,33 +82,67 @@ func run() error {
 		place     = flag.Bool("place", false, "place blocks on a 2D mesh NoC and report congestion")
 		pipeline  = flag.Bool("pipeline", false, "report steady-state pipelining of repeated iterations")
 		sweepPEs  = flag.String("sweep", "", "schedule at every PE count of this comma-separated list, in parallel")
-		workers   = flag.Int("workers", 0, "worker goroutines for -sweep (default GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "worker goroutines for -sweep and -serve (default GOMAXPROCS / NumCPU)")
 		shard     = flag.String("shard", "", "run only shard i of n sweep entries, format i/n")
 		listVar   = flag.Bool("list-variants", false, "list the experiment pipeline's registered variants and workloads, then exit")
+
+		// Service mode.
+		serveAddr = flag.String("serve", "", "run as an always-on scheduling service on this address (e.g. :8080)")
+		queueCap  = flag.Int("queue-cap", service.DefaultQueueCap, "admission cap on queued+running jobs; past it submissions get 429 + Retry-After")
+		tick      = flag.Duration("tick", service.DefaultTick, "scheduling-tick period: submissions arriving within one tick are batched")
+
+		// Load-test modes.
+		loadURL  = flag.String("loadgen", "", "drive an open-loop load test against a running service at this base URL")
+		loadTest = flag.Bool("loadtest", false, "run an in-process load test: spins up a service (no socket) and drives it")
+		rate     = flag.Float64("rate", 20, "load-test arrival rate, requests per second")
+		requests = flag.Int("requests", 600, "load-test request count")
+		dist     = flag.String("dist", service.DistPoisson, "load-test arrival process: poisson or uniform")
+		workload = flag.String("workload", "synth:fft", "registered workload submitted by the load test (see -list-variants)")
+		loadOut  = flag.String("load-out", "", "write the load-test JSON artifact (streamsched-load/v1) to this file")
 	)
 	flag.Parse()
 
 	if *listVar {
-		return listVariants()
+		return streamcli.ListVariants(os.Stdout)
+	}
+	if *serveAddr != "" {
+		return runServe(*serveAddr, service.Options{
+			QueueCap:   *queueCap,
+			Workers:    *workers,
+			Tick:       *tick,
+			DefaultPEs: *pes,
+		})
+	}
+	if *loadURL != "" || *loadTest {
+		return runLoadTest(loadParams{
+			url:      *loadURL,
+			svcOpt:   service.Options{QueueCap: *queueCap, Workers: *workers, Tick: *tick},
+			workload: *workload,
+			pes:      *pes,
+			variant:  *variant,
+			simulate: *sim,
+			cfg: service.LoadConfig{
+				Requests: *requests,
+				Rate:     *rate,
+				Dist:     *dist,
+				Seed:     *seed,
+				Timeout:  time.Minute,
+			},
+			out: *loadOut,
+		})
 	}
 
-	tg, err := loadGraph(*graphPath, *synthName, *model, *size, *seed)
+	tg, err := streamcli.LoadGraph(*graphPath, *synthName, *model, *size, *seed)
+	if err != nil {
+		return err
+	}
+	v, err := streamcli.ParseVariant(*variant)
 	if err != nil {
 		return err
 	}
 
-	var v schedule.Variant
-	switch *variant {
-	case "lts":
-		v = schedule.SBLTS
-	case "rlx":
-		v = schedule.SBRLX
-	default:
-		return fmt.Errorf("unknown variant %q (want lts or rlx)", *variant)
-	}
-
 	if *sweepPEs != "" {
-		return runSweep(tg, v, *sweepPEs, *workers, *shard)
+		return streamcli.RunSweep(os.Stdout, tg, v, *sweepPEs, *workers, *shard)
 	}
 
 	part, err := schedule.Algorithm1(tg, *pes, schedule.Options{Variant: v})
@@ -126,7 +174,7 @@ func run() error {
 		len(sizes), cycleEdges, extra)
 
 	if *showTasks {
-		printTasks(tg, res)
+		streamcli.PrintTasks(os.Stdout, tg, res)
 	}
 	if *gantt {
 		fmt.Print(trace.Gantt(tg, res, 100))
@@ -197,165 +245,113 @@ func run() error {
 	return nil
 }
 
-// sweepRow is one PE configuration of the -sweep table.
-type sweepRow struct {
+// runServe runs the always-on scheduling service until SIGINT/SIGTERM,
+// then drains: in-flight and queued jobs complete, new submissions get
+// 503, and the process exits 0 on a clean drain.
+func runServe(addr string, opt service.Options) error {
+	s := service.New(opt)
+	s.Start()
+
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "streamsched: serving on %s (queue cap %d, tick %s)\n",
+		addr, opt.QueueCap, opt.Tick)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "streamsched: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue.
+	shutdownErr := srv.Shutdown(drainCtx)
+	if err := s.Close(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return shutdownErr
+	}
+	st := s.Status()
+	fmt.Fprintf(os.Stderr, "streamsched: drained (accepted %d, completed %d, rejected %d)\n",
+		st.Accepted, st.Completed, st.Rejected)
+	return nil
+}
+
+type loadParams struct {
+	url      string // remote base URL; empty means in-process
+	svcOpt   service.Options
+	workload string
 	pes      int
-	blocks   int
-	makespan float64
-	speedup  float64
-	util     float64
+	variant  string
+	simulate bool
+	cfg      service.LoadConfig
+	out      string
 }
 
-// runSweep schedules tg at every PE count of the list on the experiments
-// worker pool and prints one row per PE count, in list order.
-func runSweep(tg *core.TaskGraph, v schedule.Variant, list string, workers int, shard string) error {
-	var pes []int
-	for _, s := range strings.Split(list, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || p < 1 {
-			return fmt.Errorf("bad -sweep entry %q", s)
-		}
-		pes = append(pes, p)
+// runLoadTest drives one open-loop load test — against a remote service
+// (-loadgen URL) or an in-process one (-loadtest) — prints the summary,
+// and optionally writes the versioned JSON artifact.
+func runLoadTest(p loadParams) error {
+	req := service.SubmitRequest{
+		Workload: p.workload,
+		Seed:     p.cfg.Seed,
+		PEs:      p.pes,
+		Variant:  p.variant,
+		Simulate: p.simulate,
 	}
-	if shard != "" {
-		idx, count, err := experiments.ParseShard(shard)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var target service.Target
+	var local *service.Service
+	if p.url != "" {
+		target = &service.HTTPTarget{Client: &service.Client{Base: p.url}, Req: req}
+	} else {
+		local = service.New(p.svcOpt)
+		local.Start()
+		target = &service.LocalTarget{Service: local, Req: req}
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests at %.3g/s (%s arrivals, seed %d, workload %s)\n",
+		p.cfg.Requests, p.cfg.Rate, p.cfg.Dist, p.cfg.Seed, p.workload)
+	rep, err := service.RunLoad(ctx, p.cfg, target, nil)
+	if err != nil {
+		return err
+	}
+	if local != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := local.Close(drainCtx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+	}
+
+	fmt.Printf("requests %d  accepted %d  rejected %d (%.1f%%)  completed %d  errors %d  dropped %d\n",
+		rep.Requests, rep.Accepted, rep.Rejected, 100*rep.RejectionRate, rep.Completed, rep.Errors, rep.Dropped())
+	fmt.Printf("elapsed %.2fs  throughput %.2f/s\n", rep.ElapsedMs/1000, rep.ThroughputPerSec)
+	fmt.Printf("latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms, rep.Latency.MaxMs)
+
+	if p.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		var kept []int
-		for i, p := range pes {
-			if i%count == idx {
-				kept = append(kept, p)
-			}
+		if err := os.WriteFile(p.out, append(data, '\n'), 0o644); err != nil {
+			return err
 		}
-		pes = kept
+		fmt.Printf("wrote %s\n", p.out)
 	}
-
-	rows, errs := experiments.RunIndexed(workers, len(pes), func(i int) (sweepRow, error) {
-		p := pes[i]
-		part, err := schedule.Algorithm1(tg, p, schedule.Options{Variant: v})
-		if err != nil {
-			return sweepRow{}, err
-		}
-		res, err := schedule.Schedule(tg, part, p)
-		if err != nil {
-			return sweepRow{}, err
-		}
-		return sweepRow{
-			pes:      p,
-			blocks:   part.NumBlocks(),
-			makespan: res.Makespan,
-			speedup:  res.Speedup(tg),
-			util:     res.Utilization(tg, p),
-		}, nil
-	})
-
-	fmt.Printf("sweep (%s): %d nodes, %d PE configurations\n", v, tg.Len(), len(pes))
-	fmt.Printf("%6s %8s %10s %8s %8s\n", "PEs", "blocks", "makespan", "speedup", "util")
-	failed := 0
-	for i, r := range rows {
-		if errs[i] != nil {
-			fmt.Printf("%6d  FAILED: %v\n", pes[i], errs[i])
-			failed++
-			continue
-		}
-		fmt.Printf("%6d %8d %10.0f %8.2f %7.1f%%\n", r.pes, r.blocks, r.makespan, r.speedup, 100*r.util)
-	}
-	if failed > 0 {
-		return fmt.Errorf("%d of %d sweep entries failed", failed, len(pes))
+	if rep.Errors > 0 || rep.Dropped() != 0 {
+		return fmt.Errorf("load test unhealthy: %d errors, %d dropped accepted jobs", rep.Errors, rep.Dropped())
 	}
 	return nil
-}
-
-func loadGraph(path, synthName, model string, size int, seed int64) (*core.TaskGraph, error) {
-	selected := 0
-	for _, s := range []string{path, synthName, model} {
-		if s != "" {
-			selected++
-		}
-	}
-	if selected != 1 {
-		return nil, fmt.Errorf("choose exactly one of -graph, -synth, or -model")
-	}
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return core.DecodeJSON(f)
-	}
-	if model != "" {
-		// Model graphs come from the experiment pipeline's workload
-		// registry ("onnx:<name>"), the same sources Table 2 evaluates.
-		w, err := experiments.LookupWorkload("onnx:" + model)
-		if err != nil {
-			return nil, fmt.Errorf("unknown model %q (see -list-variants)", model)
-		}
-		return w.Build(experiments.Options{}, 0)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	cfg := synth.DefaultConfig()
-	switch synthName {
-	case "chain":
-		return synth.Chain(size, rng, cfg), nil
-	case "fft":
-		return synth.FFT(size, rng, cfg), nil
-	case "gaussian":
-		return synth.Gaussian(size, rng, cfg), nil
-	case "cholesky":
-		return synth.Cholesky(size, rng, cfg), nil
-	}
-	return nil, fmt.Errorf("unknown synthetic topology %q", synthName)
-}
-
-// listVariants prints the registered variants and workloads of the shared
-// experiment pipeline (cmd/experiments -list-variants adds the experiment
-// registry on top).
-func listVariants() error {
-	fmt.Println("variants (cell metrics):")
-	for _, name := range experiments.VariantNames() {
-		v, err := experiments.LookupVariant(name)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  %-14s %s\n", name, strings.Join(v.Metrics(), ", "))
-	}
-	fmt.Println("\nworkloads:")
-	for _, name := range experiments.WorkloadNames() {
-		w, err := experiments.LookupWorkload(name)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  %-18s %s\n", name, w.Family())
-	}
-	return nil
-}
-
-func printTasks(tg *core.TaskGraph, res *schedule.Result) {
-	type row struct {
-		id    graph.NodeID
-		block int
-	}
-	rows := make([]row, 0, tg.Len())
-	for v := 0; v < tg.Len(); v++ {
-		rows = append(rows, row{graph.NodeID(v), res.Partition.BlockOf[v]})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].block != rows[j].block {
-			return rows[i].block < rows[j].block
-		}
-		return res.ST[rows[i].id] < res.ST[rows[j].id]
-	})
-	fmt.Printf("%-20s %5s %5s %3s %8s %8s %8s %6s\n",
-		"task", "block", "PE", "knd", "ST", "FO", "LO", "So")
-	for _, r := range rows {
-		n := tg.Nodes[r.id]
-		name := n.Name
-		if name == "" {
-			name = fmt.Sprintf("n%d", r.id)
-		}
-		fmt.Printf("%-20.20s %5d %5d %3.3s %8.0f %8.0f %8.0f %6.2f\n",
-			name, r.block, res.PE[r.id], n.Kind.String(), res.ST[r.id], res.FO[r.id], res.LO[r.id], res.So[r.id])
-	}
 }

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client speaks the service's JSON protocol to a remote instance.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Submit posts one submission. A 429 returns accepted=false with the
+// rejection's queue depth and no error; other non-2xx statuses are
+// errors.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (resp SubmitResponse, depth int, accepted bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SubmitResponse{}, 0, false, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/submit", bytes.NewReader(body))
+	if err != nil {
+		return SubmitResponse{}, 0, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.http().Do(hreq)
+	if err != nil {
+		return SubmitResponse{}, 0, false, err
+	}
+	defer hresp.Body.Close()
+	switch hresp.StatusCode {
+	case http.StatusOK:
+		if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+			return SubmitResponse{}, 0, false, err
+		}
+		return resp, resp.QueueDepth, true, nil
+	case http.StatusTooManyRequests:
+		var rej rejection
+		if err := json.NewDecoder(hresp.Body).Decode(&rej); err != nil {
+			return SubmitResponse{}, 0, false, err
+		}
+		return SubmitResponse{}, rej.QueueDepth, false, nil
+	}
+	return SubmitResponse{}, 0, false, httpStatusError(hresp)
+}
+
+// Result fetches a job's status, long-polling up to wait when positive.
+func (c *Client) Result(ctx context.Context, id string, wait time.Duration) (JobStatus, error) {
+	url := c.Base + "/v1/result/" + id
+	if wait > 0 {
+		url += "?wait=" + wait.String()
+	}
+	var st JobStatus
+	if err := c.getJSON(ctx, url, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Statusz fetches the service health report.
+func (c *Client) Statusz(ctx context.Context) (Statusz, error) {
+	var st Statusz
+	if err := c.getJSON(ctx, c.Base+"/v1/statusz", &st); err != nil {
+		return Statusz{}, err
+	}
+	return st, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, url string, v any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return httpStatusError(hresp)
+	}
+	return json.NewDecoder(hresp.Body).Decode(v)
+}
+
+func httpStatusError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var rej rejection
+	if json.Unmarshal(data, &rej) == nil && rej.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, rej.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+}
+
+// HTTPTarget drives a remote service with one fixed submission per
+// arrival — the load generator's Target over the wire.
+type HTTPTarget struct {
+	Client *Client
+	Req    SubmitRequest
+	// Wait is the long-poll window per Await round trip; 0 means 10s.
+	Wait time.Duration
+}
+
+func (t *HTTPTarget) Submit(ctx context.Context) (string, int, bool, error) {
+	resp, depth, ok, err := t.Client.Submit(ctx, t.Req)
+	return resp.ID, depth, ok, err
+}
+
+func (t *HTTPTarget) Await(ctx context.Context, id string) error {
+	wait := t.Wait
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	for {
+		st, err := t.Client.Result(ctx, id, wait)
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case StateDone:
+			return nil
+		case StateFailed:
+			return fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+// LocalTarget drives an in-process Service directly — the same admission
+// and scheduling path as HTTP minus the socket, used by `streamsched
+// -loadtest` and the deterministic tests.
+type LocalTarget struct {
+	Service *Service
+	Req     SubmitRequest
+}
+
+func (t *LocalTarget) Submit(ctx context.Context) (string, int, bool, error) {
+	resp, err := t.Service.Submit(t.Req)
+	if err != nil {
+		if ae, ok := err.(*admissionError); ok {
+			return "", ae.depth, false, nil
+		}
+		return "", 0, false, err
+	}
+	return resp.ID, resp.QueueDepth, true, nil
+}
+
+func (t *LocalTarget) Await(ctx context.Context, id string) error {
+	for {
+		st, err := t.Service.Wait(ctx, id, maxWait)
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case StateDone:
+			return nil
+		case StateFailed:
+			return fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}

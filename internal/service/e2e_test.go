@@ -1,0 +1,183 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/schedule"
+)
+
+// TestConcurrentSubmittersByteIdentical is the race e2e: N concurrent
+// submitters fire a mix of workloads, PE counts, and variants at one
+// service instance over HTTP, and every accepted job's schedule report
+// must be byte-identical to a direct batch-mode evaluation (the same
+// schedule.Algorithm1 + schedule.Schedule call sequence, via BuildReport)
+// of the same submission. Concurrency, batching order, and coalescing
+// must not be observable in the results. Run with -race in CI.
+func TestConcurrentSubmittersByteIdentical(t *testing.T) {
+	s := New(Options{QueueCap: 256, Workers: 4, Tick: time.Millisecond})
+	s.Start()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// The submission mix: every submitter rotates through these, so
+	// identical submissions from different submitters coalesce while
+	// different ones must not bleed into each other.
+	reqs := []SubmitRequest{
+		{Workload: "synth:fft", Seed: 1, PEs: 8},
+		{Workload: "synth:fft", Seed: 2, PEs: 16, Variant: "rlx"},
+		{Workload: "synth:chain", Seed: 3, PEs: 4, Simulate: true},
+		{Workload: "synth:gaussian", Seed: 4, PEs: 8},
+		{Workload: "onnx:mlp", PEs: 16},
+		{Workload: "synth:cholesky", Seed: 5, PEs: 8, Variant: "rlx"},
+	}
+	// The batch-mode reference bytes, computed directly without the
+	// service.
+	want := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		tg, err := buildGraph(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		varName := req.Variant
+		if varName == "" {
+			varName = "lts"
+		}
+		v, err := parseVariant(varName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := BuildReport(tg, req.PEs, v, varName, req.Simulate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], err = json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const submitters = 8
+	const perSubmitter = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*perSubmitter)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := &Client{Base: srv.URL}
+			for k := 0; k < perSubmitter; k++ {
+				which := (w + k) % len(reqs)
+				resp, _, ok, err := cl.Submit(ctx, reqs[which])
+				if err != nil || !ok {
+					errs <- fmt.Errorf("submitter %d: submit %d: ok=%v err=%v", w, k, ok, err)
+					return
+				}
+				got, err := fetchScheduleBytes(ctx, srv.URL, resp.ID)
+				if err != nil {
+					errs <- fmt.Errorf("submitter %d: job %s: %v", w, resp.ID, err)
+					return
+				}
+				if !bytes.Equal(got, want[which]) {
+					errs <- fmt.Errorf("submitter %d: job %s (req %d): schedule differs from batch mode\n got: %s\nwant: %s",
+						w, resp.ID, which, got, want[which])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.Status()
+	if st.Accepted != submitters*perSubmitter {
+		t.Errorf("accepted %d of %d submissions", st.Accepted, submitters*perSubmitter)
+	}
+	if st.Failed != 0 {
+		t.Errorf("%d jobs failed", st.Failed)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fetchScheduleBytes long-polls one result and returns the schedule
+// report's raw JSON, compacted, so it can be compared byte for byte with
+// a json.Marshal of the batch-mode report.
+func fetchScheduleBytes(ctx context.Context, base, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/result/"+id+"?wait=30s", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var body struct {
+		State    string          `json:"state"`
+		Error    string          `json:"error"`
+		Schedule json.RawMessage `json:"schedule"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	if body.State != StateDone {
+		return nil, fmt.Errorf("state %s (error %q)", body.State, body.Error)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, body.Schedule); err != nil {
+		return nil, err
+	}
+	return compact.Bytes(), nil
+}
+
+// TestBuildReportMatchesScheduleCall anchors BuildReport to the raw
+// schedule API: the report's fields are exactly the direct
+// Algorithm1/Schedule outputs, so "byte-identical to BuildReport" means
+// "byte-identical to a direct schedule.Schedule call".
+func TestBuildReportMatchesScheduleCall(t *testing.T) {
+	tg, err := buildGraph(SubmitRequest{Workload: "synth:fft", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := schedule.Algorithm1(tg, 8, schedule.Options{Variant: schedule.SBLTS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Schedule(tg, part, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BuildReport(tg, 8, schedule.SBLTS, "lts", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != res.Makespan {
+		t.Errorf("makespan %v vs %v", rep.Makespan, res.Makespan)
+	}
+	if rep.Blocks != part.NumBlocks() {
+		t.Errorf("blocks %d vs %d", rep.Blocks, part.NumBlocks())
+	}
+	for i := range rep.ST {
+		if rep.ST[i] != res.ST[i] || rep.PE[i] != res.PE[i] || rep.BlockOf[i] != res.Partition.BlockOf[i] {
+			t.Fatalf("per-task row %d differs from direct schedule.Schedule", i)
+		}
+	}
+}

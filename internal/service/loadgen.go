@@ -1,0 +1,356 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the open-loop load generator for the scheduling service:
+// a fixed-seed arrival process (Poisson or uniform) drives submissions at
+// a configured rate regardless of how fast the service answers — the
+// defining property of an open-loop test: a slow service accumulates
+// backlog instead of slowing the offered load — and the generator reports
+// scheduling latency percentiles, throughput, the admission-rejection
+// rate, and a queue-depth series as a versioned JSON artifact
+// (LoadSchema), committed alongside the BENCH_<N>.json family.
+//
+// Determinism: the arrival trace is a pure function of (dist, rate, n,
+// seed), and every time measurement goes through an injected Clock, so a
+// replay against a deterministic target — the fixed-latency stub in the
+// tests — produces byte-identical reports. Against a live service the
+// latencies are real wall-clock measurements; the trace is still the
+// same requests at the same offsets.
+
+// LoadSchema versions the load-test artifact format.
+const LoadSchema = "streamsched-load/v1"
+
+// Arrival distributions.
+const (
+	DistPoisson = "poisson"
+	DistUniform = "uniform"
+)
+
+// Clock abstracts time for the load generator's measured path. Tests
+// inject a manual clock so replayed runs measure identical latencies;
+// real runs use WallClock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time        { return time.Now() }
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// WallClock returns the real-time clock.
+func WallClock() Clock { return wallClock{} }
+
+// Arrivals generates the deterministic arrival schedule: n offsets from
+// the run's start, strictly non-decreasing. DistUniform spaces arrivals
+// exactly 1/rate apart; DistPoisson draws exponential inter-arrival gaps
+// with mean 1/rate from a fixed-seed source.
+func Arrivals(dist string, rate float64, n int, seed int64) ([]time.Duration, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive, got %g", rate)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("loadgen: negative request count %d", n)
+	}
+	gap := float64(time.Second) / rate
+	out := make([]time.Duration, n)
+	switch dist {
+	case DistUniform:
+		for i := range out {
+			out[i] = time.Duration(float64(i) * gap)
+		}
+	case DistPoisson:
+		rng := rand.New(rand.NewSource(seed))
+		at := 0.0
+		for i := range out {
+			at += rng.ExpFloat64() * gap
+			out[i] = time.Duration(at)
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown distribution %q (want %s or %s)", dist, DistPoisson, DistUniform)
+	}
+	return out, nil
+}
+
+// Target is the system under test: one Submit per arrival, and for
+// accepted submissions one Await until the result is ready. HTTPTarget
+// and LocalTarget (client.go) drive a real service; tests use stubs.
+type Target interface {
+	// Submit issues one request. ok reports admission; a rejection is not
+	// an error. depth is the service queue depth the response carried.
+	Submit(ctx context.Context) (id string, depth int, ok bool, err error)
+	// Await blocks until the accepted job's result is ready.
+	Await(ctx context.Context, id string) error
+}
+
+// LoadConfig parameterizes one load-test run.
+type LoadConfig struct {
+	// Requests is the number of submissions to issue.
+	Requests int
+	// Rate is the mean arrival rate, requests per second.
+	Rate float64
+	// Dist is the arrival process, DistPoisson (default) or DistUniform.
+	Dist string
+	// Seed fixes the arrival trace (and nothing else).
+	Seed int64
+	// Timeout bounds each request's submit+await; 0 means no bound beyond
+	// the run context.
+	Timeout time.Duration
+	// Sync issues each request inline instead of in its own goroutine:
+	// closed-loop, single-threaded, fully deterministic with a manual
+	// clock. Replay tests use it; real load tests must leave it false
+	// (open-loop).
+	Sync bool
+}
+
+// sample is one request's measured outcome, indexed by arrival.
+type sample struct {
+	at        time.Duration
+	depth     int
+	accepted  bool
+	completed bool
+	errored   bool
+	latency   time.Duration
+}
+
+// TraceEvent is one request in the report's trace.
+type TraceEvent struct {
+	Request int `json:"request"`
+	// AtMs is the planned arrival offset from the run start.
+	AtMs     float64 `json:"at_ms"`
+	Accepted bool    `json:"accepted"`
+	// LatencyMs is submit-to-result scheduling latency for completed
+	// requests.
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+	Error     bool    `json:"error,omitempty"`
+}
+
+// QueueSample pairs a request index with the service queue depth its
+// submit response observed.
+type QueueSample struct {
+	Request int `json:"request"`
+	Depth   int `json:"depth"`
+}
+
+// HistBucket is one latency-histogram bucket: latencies <= UpToMs (and
+// greater than the previous bucket's bound).
+type HistBucket struct {
+	UpToMs float64 `json:"up_to_ms"`
+	Count  int     `json:"count"`
+}
+
+// LatencySummary is the latency percentile row of a report.
+type LatencySummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// LoadReport is the JSON artifact of one load-test run.
+type LoadReport struct {
+	Schema     string  `json:"schema"`
+	Dist       string  `json:"dist"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Seed       int64   `json:"seed"`
+
+	Requests  int `json:"requests"`
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	Errors    int `json:"errors"`
+
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// ThroughputPerSec is completed requests per second of elapsed time.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	// RejectionRate is rejected / requests.
+	RejectionRate float64 `json:"rejection_rate"`
+
+	Latency    LatencySummary `json:"latency"`
+	Histogram  []HistBucket   `json:"histogram"`
+	QueueDepth []QueueSample  `json:"queue_depth"`
+	Trace      []TraceEvent   `json:"trace,omitempty"`
+}
+
+// Dropped reports accepted jobs that never completed — the zero-drop
+// acceptance condition of a sustainable-rate run.
+func (r *LoadReport) Dropped() int { return r.Accepted - r.Completed }
+
+// RunLoad drives one open-loop load test: sleep to each arrival offset,
+// submit, and (for accepted jobs) await the result, measuring
+// submit-to-result latency on the injected clock. The per-request records
+// are stored by arrival index, so the report is independent of goroutine
+// interleaving wherever the measured values are.
+func RunLoad(ctx context.Context, cfg LoadConfig, t Target, clk Clock) (*LoadReport, error) {
+	if cfg.Dist == "" {
+		cfg.Dist = DistPoisson
+	}
+	if clk == nil {
+		clk = WallClock()
+	}
+	arrivals, err := Arrivals(cfg.Dist, cfg.Rate, cfg.Requests, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	start := clk.Now()
+	samples := make([]sample, len(arrivals))
+	var wg sync.WaitGroup
+	for i, at := range arrivals {
+		if d := at - clk.Now().Sub(start); d > 0 {
+			clk.Sleep(d)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		issue := func(i int, at time.Duration) {
+			rctx := ctx
+			if cfg.Timeout > 0 {
+				var cancel context.CancelFunc
+				rctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+				defer cancel()
+			}
+			sm := &samples[i]
+			sm.at = at
+			issued := clk.Now()
+			id, depth, ok, err := t.Submit(rctx)
+			sm.depth = depth
+			if err != nil {
+				sm.errored = true
+				return
+			}
+			if !ok {
+				return
+			}
+			sm.accepted = true
+			if err := t.Await(rctx, id); err != nil {
+				sm.errored = true
+				return
+			}
+			sm.latency = clk.Now().Sub(issued)
+			sm.completed = true
+		}
+		if cfg.Sync {
+			issue(i, at)
+		} else {
+			wg.Add(1)
+			go func(i int, at time.Duration) {
+				defer wg.Done()
+				issue(i, at)
+			}(i, at)
+		}
+	}
+	wg.Wait()
+	elapsed := clk.Now().Sub(start)
+	return buildLoadReport(cfg, samples, elapsed), nil
+}
+
+func buildLoadReport(cfg LoadConfig, samples []sample, elapsed time.Duration) *LoadReport {
+	rep := &LoadReport{
+		Schema:     LoadSchema,
+		Dist:       cfg.Dist,
+		RatePerSec: cfg.Rate,
+		Seed:       cfg.Seed,
+		Requests:   len(samples),
+		ElapsedMs:  ms(elapsed),
+	}
+	var latencies []time.Duration
+	for i := range samples {
+		sm := &samples[i]
+		ev := TraceEvent{Request: i, AtMs: ms(sm.at), Accepted: sm.accepted, Error: sm.errored}
+		switch {
+		case sm.errored:
+			rep.Errors++
+			if sm.accepted {
+				rep.Accepted++
+			}
+		case sm.accepted:
+			rep.Accepted++
+			if sm.completed {
+				rep.Completed++
+				latencies = append(latencies, sm.latency)
+				ev.LatencyMs = ms(sm.latency)
+			}
+		default:
+			rep.Rejected++
+		}
+		rep.Trace = append(rep.Trace, ev)
+		rep.QueueDepth = append(rep.QueueDepth, QueueSample{Request: i, Depth: sm.depth})
+	}
+	if rep.Requests > 0 {
+		rep.RejectionRate = float64(rep.Rejected) / float64(rep.Requests)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ThroughputPerSec = float64(rep.Completed) / secs
+	}
+	rep.Latency = summarizeLatency(latencies)
+	rep.Histogram = latencyHistogram(latencies)
+	return rep
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// summarizeLatency computes nearest-rank percentiles over the completed
+// latencies; all zeros when nothing completed.
+func summarizeLatency(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return LatencySummary{
+		P50Ms: ms(rank(0.50)),
+		P95Ms: ms(rank(0.95)),
+		P99Ms: ms(rank(0.99)),
+		MaxMs: ms(sorted[len(sorted)-1]),
+	}
+}
+
+// histBounds are the fixed log-spaced histogram bucket bounds in
+// milliseconds, 0.25 ms to ~65 s. Fixed bounds keep two reports'
+// histograms directly comparable; latencies above the last bound clamp
+// into it (a scheduling latency over a minute is a drop in all but name).
+var histBounds = func() []float64 {
+	var b []float64
+	for v := 0.25; v <= 65536; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// latencyHistogram buckets the completed latencies into the fixed
+// log-spaced bounds. Every bucket is present, counts included, so the
+// shape is identical across runs and diffs line up.
+func latencyHistogram(lat []time.Duration) []HistBucket {
+	buckets := make([]HistBucket, len(histBounds))
+	for i, b := range histBounds {
+		buckets[i].UpToMs = b
+	}
+	for _, l := range lat {
+		v := ms(l)
+		// SearchFloat64s finds the first bound >= v, which is the bucket
+		// "latencies <= UpToMs"; anything beyond clamps into the last.
+		i := sort.SearchFloat64s(histBounds, v)
+		if i == len(buckets) {
+			i--
+		}
+		buckets[i].Count++
+	}
+	return buckets
+}

@@ -1,0 +1,681 @@
+// Package service is the always-on scheduling service: a long-running
+// HTTP/JSON server that accepts a continuous stream of graph-submission
+// requests, schedules each onto a shared device model through a bounded
+// worker pool, and streams results back. It turns the batch pipeline —
+// load a graph, run schedule.Algorithm1 + schedule.Schedule, exit — into
+// continuous operation, reusing the protocol idioms of internal/distrib
+// (versioned JSON endpoints, typed rejections, context-aware shutdown).
+//
+// The protocol is three endpoints:
+//
+//	POST /v1/submit       submit one graph (inline JSON or a registered
+//	                      workload name) for scheduling; 429 + Retry-After
+//	                      when the admission queue is full
+//	GET  /v1/result/{id}  the job's state and, once done, its schedule
+//	                      report; ?wait=<dur> long-polls until completion
+//	GET  /v1/statusz      queue depth, worker pool, admission counters
+//
+// Scheduling is batched: submissions accumulate in an admission-bounded
+// queue and a periodic scheduling tick drains it, ordering the batch so
+// jobs closest to completion go first (fewest compute tasks — the same
+// finish-what-is-nearly-done policy as dplutils' StreamingGraphExecutor)
+// and coalescing compatible submissions — identical (graph fingerprint,
+// PEs, variant, simulate) — into one evaluation whose report every
+// submitter receives.
+//
+// Determinism: a job's schedule report is a pure function of its (graph,
+// PEs, variant) inputs, computed by the exact batch-mode code path
+// (BuildReport), so a service response is byte-identical to a direct
+// schedule.Schedule run of the same submission no matter how requests
+// interleave, batch, or coalesce — the race e2e test enforces this.
+//
+// Shutdown is a drain: Close stops admission (503 for new submissions),
+// flushes the queue, and completes every accepted job before returning,
+// bounded by the caller's context. The open-loop load generator for this
+// service lives in loadgen.go; cmd/streamsched wires both (-serve,
+// -loadgen, -loadtest; see docs/SERVICE.md).
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/results"
+	"repro/internal/schedule"
+	"repro/internal/synth"
+)
+
+// Defaults for Options.
+const (
+	// DefaultQueueCap bounds admitted-but-unfinished jobs. Small graphs
+	// schedule in milliseconds, so 64 queued jobs is well under a second
+	// of backlog on one core while still absorbing arrival bursts.
+	DefaultQueueCap = 64
+	// DefaultTick is the scheduling-tick period: long enough that a burst
+	// coalesces into one batch, short enough to add negligible latency
+	// next to a schedule evaluation.
+	DefaultTick = 2 * time.Millisecond
+	// DefaultPEs is the device model submissions are scheduled onto when
+	// a request does not name a PE count.
+	DefaultPEs = 4
+	// maxWait caps the ?wait long-poll duration of /v1/result.
+	maxWait = 60 * time.Second
+)
+
+// Options configures a Service.
+type Options struct {
+	// QueueCap bounds admitted-but-unfinished jobs (queued + running);
+	// a submission past the cap is rejected with 429 + Retry-After.
+	// 0 means DefaultQueueCap.
+	QueueCap int
+	// Workers is the scheduling worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Tick is the batching period of the scheduling loop; 0 means
+	// DefaultTick.
+	Tick time.Duration
+	// DefaultPEs is the PE count of submissions that leave pes unset;
+	// 0 means DefaultPEs.
+	DefaultPEs int
+
+	// now replaces the wall clock; tests pin it for stable uptime fields.
+	now func() time.Time
+}
+
+// SubmitRequest is the body of POST /v1/submit. Exactly one of Workload
+// and Graph selects the task graph.
+type SubmitRequest struct {
+	// Workload names a registered workload ("synth:fft", "onnx:mlp", ...;
+	// see streamsched -list-variants). Synthetic families build instance 0
+	// at Seed under the default volume config, so equal (workload, seed)
+	// submissions are the same graph.
+	Workload string `json:"workload,omitempty"`
+	// Graph is an inline task graph in the core JSON format
+	// (core.DecodeJSON; see examples/quickstart).
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Seed parameterizes synthetic workload construction; 0 means 1.
+	Seed int64 `json:"seed,omitempty"`
+	// PEs is the device model's PE count for this job; 0 means the
+	// service default.
+	PEs int `json:"pes,omitempty"`
+	// Variant is the spatial-block heuristic, "lts" (default) or "rlx".
+	Variant string `json:"variant,omitempty"`
+	// Simulate additionally validates the schedule in the discrete-event
+	// simulator and attaches the result.
+	Simulate bool `json:"simulate,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted submission.
+type SubmitResponse struct {
+	// ID addresses the job on /v1/result/{id}. IDs are sequential per
+	// service instance.
+	ID string `json:"id"`
+	// QueueDepth is the number of queued (undispatched) jobs after this
+	// admission, including this one.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Job states reported on /v1/result.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the answer to GET /v1/result/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Schedule is the job's report once State is done.
+	Schedule *ScheduleReport `json:"schedule,omitempty"`
+}
+
+// Statusz is the service health report on GET /v1/statusz.
+type Statusz struct {
+	UptimeMs   float64 `json:"uptime_ms"`
+	QueueCap   int     `json:"queue_cap"`
+	Workers    int     `json:"workers"`
+	TickMs     float64 `json:"tick_ms"`
+	DefaultPEs int     `json:"default_pes"`
+	Queued     int     `json:"queued"`
+	Running    int     `json:"running"`
+	Open       int     `json:"open"`
+	Accepted   int64   `json:"accepted"`
+	Rejected   int64   `json:"rejected"`
+	Completed  int64   `json:"completed"`
+	Failed     int64   `json:"failed"`
+	// Batches counts scheduling ticks that dispatched at least one job;
+	// Coalesced counts submissions that shared another job's evaluation.
+	Batches   int64 `json:"batches"`
+	Coalesced int64 `json:"coalesced"`
+	Draining  bool  `json:"draining,omitempty"`
+}
+
+// job tracks one submission from admission to completion.
+type job struct {
+	id       string
+	seq      int64
+	tg       *core.TaskGraph
+	pes      int
+	variant  schedule.Variant
+	varName  string
+	simulate bool
+	// key is the coalescing identity: submissions with equal keys are
+	// the same deterministic evaluation.
+	key string
+	// tasks is the batch-priority key: compute nodes left to schedule
+	// (fewest first — closest to completion).
+	tasks int
+
+	// state, report, err, and followers are guarded by Service.mu;
+	// report and err are immutable once done is closed.
+	state     string
+	report    *ScheduleReport
+	err       error
+	followers []*job
+	done      chan struct{}
+}
+
+// Service is the always-on scheduler. New constructs it accepting
+// submissions, Start launches the scheduling loop, Close drains it.
+type Service struct {
+	opt Options
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	queue     []*job // admitted, not yet dispatched
+	seq       int64
+	open      int // queued + running
+	running   int
+	accepted  int64
+	rejected  int64
+	completed int64
+	failed    int64
+	batches   int64
+	coalesced int64
+	draining  bool
+	started   bool
+
+	start    time.Time
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{}
+	sem      chan struct{}
+	wg       sync.WaitGroup
+
+	// testHookRun, when set, runs at the start of every job evaluation;
+	// shutdown tests block it to hold jobs in flight deterministically.
+	testHookRun func()
+}
+
+// New builds a service. It accepts submissions immediately; nothing is
+// scheduled until Start.
+func New(opt Options) *Service {
+	if opt.QueueCap <= 0 {
+		opt.QueueCap = DefaultQueueCap
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Tick <= 0 {
+		opt.Tick = DefaultTick
+	}
+	if opt.DefaultPEs <= 0 {
+		opt.DefaultPEs = DefaultPEs
+	}
+	if opt.now == nil {
+		opt.now = time.Now
+	}
+	s := &Service{
+		opt:      opt,
+		jobs:     make(map[string]*job),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		sem:      make(chan struct{}, opt.Workers),
+	}
+	s.start = opt.now()
+	return s
+}
+
+// Start launches the scheduling loop. It must be called at most once.
+func (s *Service) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("service: Start called twice")
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.loop()
+}
+
+// Close drains the service: admission stops (new submissions get 503),
+// the queue is flushed to the worker pool, and every accepted job runs to
+// completion. It returns ctx.Err if the context expires first; calling it
+// again waits for the same drain.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	started := s.started
+	s.mu.Unlock()
+
+	if started {
+		s.stopOnce.Do(func() { close(s.stop) })
+		select {
+		case <-s.loopDone:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	} else {
+		// The loop never ran; flush the queue directly so accepted jobs
+		// still complete.
+		s.dispatch()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// loop is the scheduling tick: every Tick it drains the admission queue
+// as one prioritized, coalesced batch.
+func (s *Service) loop() {
+	defer close(s.loopDone)
+	ticker := time.NewTicker(s.opt.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			s.dispatch() // flush the final batch before draining
+			return
+		case <-ticker.C:
+			s.dispatch()
+		}
+	}
+}
+
+// dispatch drains the queue as one batch: sort by closeness to completion
+// (fewest compute tasks, then admission order), coalesce identical
+// evaluations, and hand each leader to the worker pool.
+func (s *Service) dispatch() {
+	s.mu.Lock()
+	batch := s.queue
+	s.queue = nil
+	if len(batch) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	sort.SliceStable(batch, func(i, j int) bool {
+		if batch[i].tasks != batch[j].tasks {
+			return batch[i].tasks < batch[j].tasks
+		}
+		return batch[i].seq < batch[j].seq
+	})
+	leaders := make([]*job, 0, len(batch))
+	byKey := make(map[string]*job, len(batch))
+	for _, j := range batch {
+		j.state = StateRunning
+		if lead, ok := byKey[j.key]; ok {
+			lead.followers = append(lead.followers, j)
+			s.coalesced++
+			continue
+		}
+		byKey[j.key] = j
+		leaders = append(leaders, j)
+	}
+	s.batches++
+	s.running += len(batch)
+	s.mu.Unlock()
+
+	for _, j := range leaders {
+		s.wg.Add(1)
+		go func(j *job) {
+			defer s.wg.Done()
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+			s.run(j)
+		}(j)
+	}
+}
+
+// run evaluates one leader job and resolves it and its coalesced
+// followers with the shared report.
+func (s *Service) run(j *job) {
+	if s.testHookRun != nil {
+		s.testHookRun()
+	}
+	rep, err := BuildReport(j.tg, j.pes, j.variant, j.varName, j.simulate)
+	s.mu.Lock()
+	for _, x := range append([]*job{j}, j.followers...) {
+		x.report, x.err = rep, err
+		if err != nil {
+			x.state = StateFailed
+			s.failed++
+		} else {
+			x.state = StateDone
+			s.completed++
+		}
+		s.open--
+		s.running--
+		close(x.done)
+	}
+	s.mu.Unlock()
+}
+
+// Submit admits one request. The graph is built and validated before
+// admission, so malformed submissions are 400s that never occupy queue
+// space; a full queue rejects with 429 and a Retry-After hint; a draining
+// service rejects with 503.
+func (s *Service) Submit(req SubmitRequest) (SubmitResponse, error) {
+	tg, err := buildGraph(req)
+	if err != nil {
+		return SubmitResponse{}, rejectf(http.StatusBadRequest, "bad submission: %v", err)
+	}
+	pes := req.PEs
+	if pes <= 0 {
+		pes = s.opt.DefaultPEs
+	}
+	varName := req.Variant
+	if varName == "" {
+		varName = "lts"
+	}
+	variant, err := parseVariant(varName)
+	if err != nil {
+		return SubmitResponse{}, rejectf(http.StatusBadRequest, "bad submission: %v", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return SubmitResponse{}, rejectf(http.StatusServiceUnavailable, "service is draining")
+	}
+	if s.open >= s.opt.QueueCap {
+		s.rejected++
+		return SubmitResponse{}, &admissionError{
+			retryAfter: s.retryAfterLocked(),
+			depth:      len(s.queue),
+		}
+	}
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("j%d", s.seq),
+		seq:      s.seq,
+		tg:       tg,
+		pes:      pes,
+		variant:  variant,
+		varName:  varName,
+		simulate: req.Simulate,
+		key: fmt.Sprintf("%s/P%d/%s/sim%t",
+			results.Fingerprint(tg), pes, varName, req.Simulate),
+		tasks: tg.NumComputeNodes(),
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.queue = append(s.queue, j)
+	s.open++
+	s.accepted++
+	return SubmitResponse{ID: j.id, QueueDepth: len(s.queue)}, nil
+}
+
+// retryAfterLocked hints how long a rejected client should back off: one
+// scheduling tick (the soonest the queue can drain), in whole seconds for
+// the Retry-After header with sub-second ticks rounding up to 1.
+func (s *Service) retryAfterLocked() time.Duration {
+	return s.opt.Tick
+}
+
+// Result snapshots one job's status.
+func (s *Service) Result(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, rejectf(http.StatusNotFound, "unknown job %q", id)
+	}
+	return s.statusLocked(j), nil
+}
+
+func (s *Service) statusLocked(j *job) JobStatus {
+	st := JobStatus{ID: j.id, State: j.state}
+	switch j.state {
+	case StateDone:
+		st.Schedule = j.report
+	case StateFailed:
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Wait blocks until the job resolves, the wait elapses, or ctx is done,
+// then returns the job's status at that moment.
+func (s *Service) Wait(ctx context.Context, id string, wait time.Duration) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, rejectf(http.StatusNotFound, "unknown job %q", id)
+	}
+	if wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-j.done:
+		case <-timer.C:
+		case <-ctx.Done():
+		}
+	}
+	return s.Result(id)
+}
+
+// Status snapshots the service counters.
+func (s *Service) Status() Statusz {
+	now := s.opt.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Statusz{
+		UptimeMs:   float64(now.Sub(s.start)) / float64(time.Millisecond),
+		QueueCap:   s.opt.QueueCap,
+		Workers:    s.opt.Workers,
+		TickMs:     float64(s.opt.Tick) / float64(time.Millisecond),
+		DefaultPEs: s.opt.DefaultPEs,
+		Queued:     len(s.queue),
+		Running:    s.running,
+		Open:       s.open,
+		Accepted:   s.accepted,
+		Rejected:   s.rejected,
+		Completed:  s.completed,
+		Failed:     s.failed,
+		Batches:    s.batches,
+		Coalesced:  s.coalesced,
+		Draining:   s.draining,
+	}
+}
+
+// buildGraph materializes a submission's task graph from its one declared
+// source.
+func buildGraph(req SubmitRequest) (*core.TaskGraph, error) {
+	switch {
+	case req.Workload != "" && len(req.Graph) > 0:
+		return nil, fmt.Errorf("choose exactly one of workload and graph")
+	case req.Workload != "":
+		w, err := experiments.LookupWorkload(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		// Instance 0 at the request seed under the default volume config:
+		// the same graph a batch run of this workload would build.
+		return w.Build(experiments.Options{
+			Graphs: 1, Seed: seed, Config: synth.DefaultConfig(),
+		}, 0)
+	case len(req.Graph) > 0:
+		return core.DecodeJSON(bytes.NewReader(req.Graph))
+	}
+	return nil, fmt.Errorf("choose exactly one of workload and graph")
+}
+
+func parseVariant(s string) (schedule.Variant, error) {
+	switch s {
+	case "lts":
+		return schedule.SBLTS, nil
+	case "rlx":
+		return schedule.SBRLX, nil
+	}
+	return schedule.SBLTS, fmt.Errorf("unknown variant %q (want lts or rlx)", s)
+}
+
+// httpError carries the status code an HTTP handler should reject with
+// (the same idiom as internal/distrib).
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func rejectf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// admissionError is a 429 with its Retry-After hint and the queue depth
+// at rejection time, surfaced in both the header and the JSON body.
+type admissionError struct {
+	retryAfter time.Duration
+	depth      int
+}
+
+func (e *admissionError) Error() string {
+	return fmt.Sprintf("admission queue full (%d queued); retry after %v", e.depth, e.retryAfter)
+}
+
+// rejection is the JSON body of a non-2xx response.
+type rejection struct {
+	Error string `json:"error"`
+	// QueueDepth and RetryAfterMs accompany 429s so open-loop clients can
+	// record queue pressure without a second statusz round trip.
+	QueueDepth   int     `json:"queue_depth,omitempty"`
+	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
+}
+
+// Handler exposes the service's three endpoints as an http.Handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := readJSON(w, r, &req); err != nil {
+			return
+		}
+		resp, err := s.Submit(req)
+		if err != nil {
+			httpReject(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/result/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpReject(w, rejectf(http.StatusMethodNotAllowed, "GET only"))
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+		wait := time.Duration(0)
+		if v := r.URL.Query().Get("wait"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				httpReject(w, rejectf(http.StatusBadRequest, "bad wait %q", v))
+				return
+			}
+			if d > maxWait {
+				d = maxWait
+			}
+			wait = d
+		}
+		st, err := s.Wait(r.Context(), id, wait)
+		if err != nil {
+			httpReject(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("/v1/statusz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpReject(w, rejectf(http.StatusMethodNotAllowed, "GET only"))
+			return
+		}
+		writeJSON(w, s.Status())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	if r.Method != http.MethodPost {
+		err := rejectf(http.StatusMethodNotAllowed, "POST only")
+		httpReject(w, err)
+		return err
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		err = rejectf(http.StatusBadRequest, "bad request body: %v", err)
+		httpReject(w, err)
+		return err
+	}
+	return nil
+}
+
+// httpReject writes err as a JSON rejection with the right status code:
+// admission rejections become 429 + Retry-After, httpErrors keep their
+// code, anything else is a 500.
+func httpReject(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	body := rejection{Error: err.Error()}
+	switch e := err.(type) {
+	case *admissionError:
+		code = http.StatusTooManyRequests
+		secs := int((e.retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.QueueDepth = e.depth
+		body.RetryAfterMs = float64(e.retryAfter) / float64(time.Millisecond)
+	case *httpError:
+		code = e.code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) //nolint:errcheck // the connection is already gone if this fails
+}

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fftReq(seed int64) SubmitRequest {
+	return SubmitRequest{Workload: "synth:fft", Seed: seed, PEs: 8}
+}
+
+// TestAdmissionBoundary pins the admission-control boundary: exactly-at-cap
+// accepts, one-over rejects with a Retry-After hint, and rejections do not
+// consume queue space. The service is deliberately not started, so the
+// queue cannot drain between submissions.
+func TestAdmissionBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		cap  int
+	}{
+		{"cap 1", 1},
+		{"cap 3", 3},
+		{"cap 8", 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := New(Options{QueueCap: c.cap, Workers: 1})
+			for i := 0; i < c.cap; i++ {
+				resp, err := s.Submit(fftReq(int64(i + 1)))
+				if err != nil {
+					t.Fatalf("submission %d of %d rejected: %v", i+1, c.cap, err)
+				}
+				if resp.QueueDepth != i+1 {
+					t.Fatalf("submission %d: queue depth %d", i+1, resp.QueueDepth)
+				}
+			}
+			// One over the cap must reject with the admission error.
+			_, err := s.Submit(fftReq(99))
+			ae, ok := err.(*admissionError)
+			if !ok {
+				t.Fatalf("over-cap submission: got %v, want admissionError", err)
+			}
+			if ae.depth != c.cap {
+				t.Errorf("rejection depth %d, want %d", ae.depth, c.cap)
+			}
+			if ae.retryAfter <= 0 {
+				t.Errorf("rejection carries no Retry-After hint")
+			}
+			// The rejection consumed nothing: the queue still drains cleanly.
+			st := s.Status()
+			if st.Queued != c.cap || st.Rejected != 1 || st.Accepted != int64(c.cap) {
+				t.Errorf("status after rejection: %+v", st)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Close(ctx); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		})
+	}
+}
+
+// TestAdmissionHTTP checks the boundary through the HTTP layer: 429 status,
+// Retry-After header, and a JSON body carrying the queue depth.
+func TestAdmissionHTTP(t *testing.T) {
+	s := New(Options{QueueCap: 2, Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(srv.URL+"/v1/submit", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for i := 0; i < 2; i++ {
+		resp := post(fmt.Sprintf(`{"workload":"synth:fft","seed":%d}`, i+1))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submission %d: status %d", i+1, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp := post(`{"workload":"synth:fft","seed":3}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var rej rejection
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if rej.QueueDepth != 2 || rej.RetryAfterMs <= 0 {
+		t.Errorf("rejection body %+v", rej)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitBadInputs: malformed submissions are 400s and never occupy
+// queue space.
+func TestSubmitBadInputs(t *testing.T) {
+	s := New(Options{QueueCap: 1})
+	cases := []struct {
+		name string
+		req  SubmitRequest
+	}{
+		{"no source", SubmitRequest{}},
+		{"both sources", SubmitRequest{Workload: "synth:fft", Graph: json.RawMessage(`{}`)}},
+		{"unknown workload", SubmitRequest{Workload: "synth:nope"}},
+		{"bad inline graph", SubmitRequest{Graph: json.RawMessage(`{"nodes": "what"}`)}},
+		{"bad variant", SubmitRequest{Workload: "synth:fft", Variant: "heft"}},
+	}
+	for _, c := range cases {
+		_, err := s.Submit(c.req)
+		he, ok := err.(*httpError)
+		if !ok || he.code != http.StatusBadRequest {
+			t.Errorf("%s: got %v, want 400 httpError", c.name, err)
+		}
+	}
+	if st := s.Status(); st.Queued != 0 || st.Accepted != 0 {
+		t.Errorf("bad submissions occupied the queue: %+v", st)
+	}
+}
+
+// TestDrainOnShutdown: Close completes every accepted job — queued and
+// in-flight — before returning, and a draining service rejects new
+// submissions with 503.
+func TestDrainOnShutdown(t *testing.T) {
+	s := New(Options{QueueCap: 32, Workers: 2, Tick: time.Millisecond})
+	s.Start()
+	var ids []string
+	for i := 0; i < 10; i++ {
+		resp, err := s.Submit(fftReq(int64(i + 1)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, resp.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		st, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone || st.Schedule == nil {
+			t.Errorf("job %s after drain: state %s", id, st.State)
+		}
+	}
+	if _, err := s.Submit(fftReq(1)); err == nil {
+		t.Error("draining service accepted a submission")
+	} else if he, ok := err.(*httpError); !ok || he.code != http.StatusServiceUnavailable {
+		t.Errorf("draining rejection: %v, want 503", err)
+	}
+}
+
+// TestCloseRespectsContext: like internal/distrib's prompt-shutdown tests,
+// Close must give up when its context expires while jobs are still in
+// flight — and a later Close with a live context still completes the
+// drain.
+func TestCloseRespectsContext(t *testing.T) {
+	s := New(Options{QueueCap: 4, Workers: 1, Tick: time.Millisecond})
+	block := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	s.testHookRun = func() {
+		entered <- struct{}{}
+		<-block
+	}
+	s.Start()
+	if _, err := s.Submit(fftReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // a worker is now wedged inside the job
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Close(ctx); err != context.Canceled {
+		t.Fatalf("Close with cancelled context: %v, want context.Canceled", err)
+	}
+
+	close(block)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := s.Close(ctx2); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	st := s.Status()
+	if st.Completed != 1 || st.Open != 0 {
+		t.Errorf("after drain: %+v", st)
+	}
+}
+
+// TestCoalescing: identical submissions in one batch share a single
+// evaluation, and every submitter still gets a complete report.
+func TestCoalescing(t *testing.T) {
+	s := New(Options{QueueCap: 32, Workers: 2})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		resp, err := s.Submit(fftReq(7)) // identical graph, PEs, variant
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, resp.ID)
+	}
+	// Drain without Start: everything dispatches as one batch.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if st.Coalesced != 5 {
+		t.Errorf("coalesced %d of 6 identical submissions, want 5", st.Coalesced)
+	}
+	var first *ScheduleReport
+	for _, id := range ids {
+		js, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.State != StateDone || js.Schedule == nil {
+			t.Fatalf("job %s: %+v", id, js)
+		}
+		if first == nil {
+			first = js.Schedule
+		} else if js.Schedule != first {
+			// Same pointer: one evaluation served all six.
+			t.Error("coalesced submissions did not share the evaluation")
+		}
+	}
+}
+
+// TestResultEndpoints: unknown IDs 404, long-poll returns promptly once
+// the job resolves, statusz counts add up.
+func TestResultEndpoints(t *testing.T) {
+	s := New(Options{QueueCap: 8, Workers: 2, Tick: time.Millisecond})
+	s.Start()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	cl := &Client{Base: srv.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := cl.Result(ctx, "j999", 0); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job: %v, want 404", err)
+	}
+
+	resp, _, ok, err := cl.Submit(ctx, fftReq(3))
+	if err != nil || !ok {
+		t.Fatalf("submit: ok=%v err=%v", ok, err)
+	}
+	st, err := cl.Result(ctx, resp.ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Schedule == nil || st.Schedule.PEs != 8 {
+		t.Fatalf("long-polled result: %+v", st)
+	}
+
+	hz, err := cl.Statusz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz.Accepted != 1 || hz.Completed != 1 || hz.QueueCap != 8 {
+		t.Errorf("statusz: %+v", hz)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInlineGraphSubmission: an inline core-JSON graph schedules like a
+// workload submission.
+func TestInlineGraphSubmission(t *testing.T) {
+	tg, err := buildGraph(fftReq(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tg.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{QueueCap: 4, Workers: 1, Tick: time.Millisecond})
+	s.Start()
+	resp, err := s.Submit(SubmitRequest{Graph: buf.Bytes(), PEs: 8, Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := s.Wait(ctx, resp.ID, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("inline graph job: %+v", st)
+	}
+	if st.Schedule.Sim == nil || st.Schedule.Sim.Deadlocked {
+		t.Errorf("simulate report: %+v", st.Schedule.Sim)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package streamcli holds the testable core of cmd/streamsched's batch
+// mode: graph loading from every input source the CLI accepts (-graph,
+// -synth, -model), variant parsing, the parallel PE sweep, and the
+// plain-text report tables. cmd/streamsched is a thin flag layer over
+// these functions; internal/service reuses the same graph sources for
+// streaming submissions. Every function writes to an io.Writer so tests
+// capture output byte for byte, and every graph construction is
+// deterministic in its (source, size, seed) arguments.
+package streamcli
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/schedule"
+	"repro/internal/synth"
+)
+
+// ParseVariant maps the CLI spellings of the spatial-block heuristics to
+// schedule variants.
+func ParseVariant(s string) (schedule.Variant, error) {
+	switch s {
+	case "lts":
+		return schedule.SBLTS, nil
+	case "rlx":
+		return schedule.SBRLX, nil
+	}
+	return schedule.SBLTS, fmt.Errorf("unknown variant %q (want lts or rlx)", s)
+}
+
+// LoadGraph builds the task graph selected by exactly one of path (a JSON
+// graph file), synthName (a generated topology), or model (a registered
+// onnx:* workload). size and seed parameterize the synthetic generators;
+// model graphs are static and ignore both.
+func LoadGraph(path, synthName, model string, size int, seed int64) (*core.TaskGraph, error) {
+	selected := 0
+	for _, s := range []string{path, synthName, model} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return nil, fmt.Errorf("choose exactly one of -graph, -synth, or -model")
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.DecodeJSON(f)
+	}
+	if model != "" {
+		// Model graphs come from the experiment pipeline's workload
+		// registry ("onnx:<name>"), the same sources Table 2 evaluates.
+		w, err := experiments.LookupWorkload("onnx:" + model)
+		if err != nil {
+			return nil, fmt.Errorf("unknown model %q (see -list-variants)", model)
+		}
+		return w.Build(experiments.Options{}, 0)
+	}
+	return BuildSynth(synthName, size, seed)
+}
+
+// BuildSynth generates one synthetic topology instance. The graph is a
+// pure function of (name, size, seed).
+func BuildSynth(name string, size int, seed int64) (*core.TaskGraph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := synth.DefaultConfig()
+	switch name {
+	case "chain":
+		return synth.Chain(size, rng, cfg), nil
+	case "fft":
+		return synth.FFT(size, rng, cfg), nil
+	case "gaussian":
+		return synth.Gaussian(size, rng, cfg), nil
+	case "cholesky":
+		return synth.Cholesky(size, rng, cfg), nil
+	}
+	return nil, fmt.Errorf("unknown synthetic topology %q", name)
+}
+
+// sweepRow is one PE configuration of the RunSweep table.
+type sweepRow struct {
+	pes      int
+	blocks   int
+	makespan float64
+	speedup  float64
+	util     float64
+}
+
+// RunSweep schedules tg at every PE count of the comma-separated list on
+// the experiments worker pool and writes one table row per PE count, in
+// list order. shard ("i/n", optional) keeps only every n-th entry.
+func RunSweep(w io.Writer, tg *core.TaskGraph, v schedule.Variant, list string, workers int, shard string) error {
+	var pes []int
+	for _, s := range strings.Split(list, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			return fmt.Errorf("bad -sweep entry %q", s)
+		}
+		pes = append(pes, p)
+	}
+	if shard != "" {
+		idx, count, err := experiments.ParseShard(shard)
+		if err != nil {
+			return err
+		}
+		var kept []int
+		for i, p := range pes {
+			if i%count == idx {
+				kept = append(kept, p)
+			}
+		}
+		pes = kept
+	}
+
+	rows, errs := experiments.RunIndexed(workers, len(pes), func(i int) (sweepRow, error) {
+		p := pes[i]
+		part, err := schedule.Algorithm1(tg, p, schedule.Options{Variant: v})
+		if err != nil {
+			return sweepRow{}, err
+		}
+		res, err := schedule.Schedule(tg, part, p)
+		if err != nil {
+			return sweepRow{}, err
+		}
+		return sweepRow{
+			pes:      p,
+			blocks:   part.NumBlocks(),
+			makespan: res.Makespan,
+			speedup:  res.Speedup(tg),
+			util:     res.Utilization(tg, p),
+		}, nil
+	})
+
+	fmt.Fprintf(w, "sweep (%s): %d nodes, %d PE configurations\n", v, tg.Len(), len(pes))
+	fmt.Fprintf(w, "%6s %8s %10s %8s %8s\n", "PEs", "blocks", "makespan", "speedup", "util")
+	failed := 0
+	for i, r := range rows {
+		if errs[i] != nil {
+			fmt.Fprintf(w, "%6d  FAILED: %v\n", pes[i], errs[i])
+			failed++
+			continue
+		}
+		fmt.Fprintf(w, "%6d %8d %10.0f %8.2f %7.1f%%\n", r.pes, r.blocks, r.makespan, r.speedup, 100*r.util)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sweep entries failed", failed, len(pes))
+	}
+	return nil
+}
+
+// ListVariants writes the registered variants and workloads of the shared
+// experiment pipeline (cmd/experiments -list-variants adds the experiment
+// registry on top).
+func ListVariants(w io.Writer) error {
+	fmt.Fprintln(w, "variants (cell metrics):")
+	for _, name := range experiments.VariantNames() {
+		v, err := experiments.LookupVariant(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-14s %s\n", name, strings.Join(v.Metrics(), ", "))
+	}
+	fmt.Fprintln(w, "\nworkloads:")
+	for _, name := range experiments.WorkloadNames() {
+		wl, err := experiments.LookupWorkload(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-18s %s\n", name, wl.Family())
+	}
+	return nil
+}
+
+// PrintTasks writes the per-task schedule table, ordered by block then
+// start time.
+func PrintTasks(w io.Writer, tg *core.TaskGraph, res *schedule.Result) {
+	type row struct {
+		id    graph.NodeID
+		block int
+	}
+	rows := make([]row, 0, tg.Len())
+	for v := 0; v < tg.Len(); v++ {
+		rows = append(rows, row{graph.NodeID(v), res.Partition.BlockOf[v]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].block != rows[j].block {
+			return rows[i].block < rows[j].block
+		}
+		return res.ST[rows[i].id] < res.ST[rows[j].id]
+	})
+	fmt.Fprintf(w, "%-20s %5s %5s %3s %8s %8s %8s %6s\n",
+		"task", "block", "PE", "knd", "ST", "FO", "LO", "So")
+	for _, r := range rows {
+		n := tg.Nodes[r.id]
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", r.id)
+		}
+		fmt.Fprintf(w, "%-20.20s %5d %5d %3.3s %8.0f %8.0f %8.0f %6.2f\n",
+			name, r.block, res.PE[r.id], n.Kind.String(), res.ST[r.id], res.FO[r.id], res.LO[r.id], res.So[r.id])
+	}
+}

@@ -1,0 +1,209 @@
+package streamcli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/results"
+	"repro/internal/schedule"
+)
+
+func TestParseVariant(t *testing.T) {
+	if v, err := ParseVariant("lts"); err != nil || v != schedule.SBLTS {
+		t.Fatalf("lts: got %v, %v", v, err)
+	}
+	if v, err := ParseVariant("rlx"); err != nil || v != schedule.SBRLX {
+		t.Fatalf("rlx: got %v, %v", v, err)
+	}
+	if _, err := ParseVariant("heft"); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestLoadGraphSynth(t *testing.T) {
+	for _, name := range []string{"chain", "fft", "gaussian", "cholesky"} {
+		tg, err := LoadGraph("", name, "", 8, 1)
+		if err != nil {
+			t.Fatalf("synth %s: %v", name, err)
+		}
+		if tg.Len() == 0 || tg.NumComputeNodes() == 0 {
+			t.Fatalf("synth %s: empty graph", name)
+		}
+	}
+}
+
+// Synthetic construction is a pure function of (name, size, seed): equal
+// arguments fingerprint identically, different seeds differently.
+func TestLoadGraphSynthDeterministic(t *testing.T) {
+	a, err := LoadGraph("", "fft", "", 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadGraph("", "fft", "", 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadGraph("", "fft", "", 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results.Fingerprint(a) != results.Fingerprint(b) {
+		t.Fatal("same (size, seed) built different graphs")
+	}
+	if results.Fingerprint(a) == results.Fingerprint(c) {
+		t.Fatal("different seeds built identical graphs")
+	}
+}
+
+func TestLoadGraphModel(t *testing.T) {
+	tg, err := LoadGraph("", "", "mlp", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumComputeNodes() == 0 {
+		t.Fatal("model graph has no compute nodes")
+	}
+}
+
+func TestLoadGraphJSONFile(t *testing.T) {
+	tg, err := LoadGraph("", "chain", "", 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph(path, "", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results.Fingerprint(got) != results.Fingerprint(tg) {
+		t.Fatal("JSON round trip changed the graph")
+	}
+}
+
+func TestLoadGraphBadInputs(t *testing.T) {
+	cases := []struct {
+		name              string
+		path, synth, model string
+	}{
+		{"none selected", "", "", ""},
+		{"two selected", "x.json", "fft", ""},
+		{"all selected", "x.json", "fft", "mlp"},
+		{"unknown synth", "", "nope", ""},
+		{"unknown model", "", "", "nope"},
+		{"missing file", filepath.Join(t.TempDir(), "absent.json"), "", ""},
+	}
+	for _, c := range cases {
+		if _, err := LoadGraph(c.path, c.synth, c.model, 8, 1); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	tg, err := LoadGraph("", "fft", "", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunSweep(&buf, tg, schedule.SBLTS, "2, 4,8", 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 PE configurations") {
+		t.Fatalf("missing header: %q", out)
+	}
+	for _, pe := range []string{"     2 ", "     4 ", "     8 "} {
+		if !strings.Contains(out, pe) {
+			t.Errorf("missing row for PEs %q in %q", strings.TrimSpace(pe), out)
+		}
+	}
+
+	// The sweep is deterministic at any worker count.
+	var again bytes.Buffer
+	if err := RunSweep(&again, tg, schedule.SBLTS, "2, 4,8", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("sweep output depends on worker count")
+	}
+}
+
+func TestRunSweepShard(t *testing.T) {
+	tg, err := LoadGraph("", "chain", "", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunSweep(&buf, tg, schedule.SBLTS, "2,4,8,16", 0, "1/2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 PE configurations") {
+		t.Fatalf("shard 1/2 should keep 2 of 4 entries: %q", buf.String())
+	}
+}
+
+func TestRunSweepBadInputs(t *testing.T) {
+	tg, err := LoadGraph("", "chain", "", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunSweep(&buf, tg, schedule.SBLTS, "4,zero", 0, ""); err == nil {
+		t.Error("bad sweep entry accepted")
+	}
+	if err := RunSweep(&buf, tg, schedule.SBLTS, "0", 0, ""); err == nil {
+		t.Error("non-positive PE count accepted")
+	}
+	if err := RunSweep(&buf, tg, schedule.SBLTS, "4,8", 0, "2-of-3"); err == nil {
+		t.Error("bad shard spec accepted")
+	}
+}
+
+func TestListVariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ListVariants(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"variants (cell metrics):", "workloads:", "synth:fft", "onnx:mlp"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in listing", want)
+		}
+	}
+}
+
+func TestPrintTasks(t *testing.T) {
+	tg, err := LoadGraph("", "chain", "", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := schedule.Algorithm1(tg, 4, schedule.Options{Variant: schedule.SBLTS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Schedule(tg, part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintTasks(&buf, tg, res)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != tg.Len()+1 {
+		t.Fatalf("want header + %d rows, got %d lines", tg.Len(), len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "task") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+}
