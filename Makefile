@@ -33,10 +33,18 @@ bench-diff:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
-# fuzz-smoke briefly cross-checks the desim leap engine against the
-# unit-stepping reference loop on random graphs, schedules, and FIFO sizes.
+# fuzz-smoke briefly cross-checks the differential fast-vs-reference pairs:
+# the desim leap engine against the unit-stepping reference loop, and the
+# incremental Algorithm 1 partitioner against its executable specification.
 fuzz-smoke:
 	$(GO) test ./internal/desim -run '^$$' -fuzz FuzzDesimLeapVsReference -fuzztime 20s
+	$(GO) test ./internal/schedule -run '^$$' -fuzz FuzzAlgorithm1FastVsReference -fuzztime 20s
+
+# scale-smoke drives the 10^5-task pipeline (partition, schedule, auto-engine
+# desim) and the ~10^6-task deep-MLP partition+schedule under generous
+# wall-clock budgets; plain `go test ./...` skips it (SCALE_SMOKE gate).
+scale-smoke:
+	SCALE_SMOKE=1 $(GO) test -run TestScaleSmokePipeline -v -timeout 15m .
 
 # loadtest-smoke drives a short fixed-seed open-loop load test against an
 # in-process scheduling service and fails on any error or dropped accepted

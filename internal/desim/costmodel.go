@@ -146,15 +146,31 @@ const (
 	// periods are too short-lived for detection plus confirmation plus
 	// replay to pay for the per-cycle hashing.
 	autoShortPeriods = 12.0
+	// autoGiantTasks: above this node count the leap engine wins even in the
+	// event-dense, join-heavy regime. The reference loop touches every
+	// unfinished task every cycle, so its constant factor grows with the live
+	// set while the leap worklist stays proportional to actions: on scaled
+	// Cholesky (the reference engine's best case) the measured crossover sits
+	// between ~2.6k tasks (reference 1.2x faster) and ~6k tasks (leap 1.6x
+	// faster, widening with size). The committed benchmark families are all a
+	// few hundred nodes and unaffected; this guard exists for the 10^5-10^6
+	// task scale-out graphs.
+	autoGiantTasks = 4096
 )
 
 // PickEngine resolves EngineAuto for one simulation: the leap engine unless
 // the workload is event-dense (high action density), join-heavy (several
 // producers gating each consumer), AND short on steady state (few cycles
 // per event boundary) all at once — the regime where the period detector is
-// pure overhead and the reference loop wins.
+// pure overhead and the reference loop wins. Even then the graph must be
+// small enough (autoGiantTasks) that the reference loop's per-cycle sweep
+// over unfinished tasks stays cheap; beyond that the leap engine wins
+// unconditionally.
 func PickEngine(t *core.TaskGraph, r *schedule.Result, _ Config) Engine {
 	f := ExtractFeatures(t, r)
+	if f.Tasks+f.Buffers > autoGiantTasks {
+		return EngineLeap
+	}
 	if f.ActionDensity > autoDenseActions && f.PredsPerTask > autoJoinHeavy && f.CyclesPerEvent < autoShortPeriods {
 		return EngineReference
 	}

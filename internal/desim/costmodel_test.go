@@ -124,6 +124,37 @@ func TestAutoPicksExpectedEngine(t *testing.T) {
 	}
 }
 
+// TestAutoPicksLeapOnScaledFamilies pins the giant-graph guard: Cholesky is
+// the reference engine's best case, but past the measured ~4k-task crossover
+// the reference loop's per-cycle sweep over unfinished tasks loses to the
+// leap worklist, so Auto must route scaled-up instances — the scale-out
+// workloads of the scale experiment and smoke pipeline — to the leap engine
+// while leaving the committed few-hundred-node families untouched.
+func TestAutoPicksLeapOnScaledFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		tiles int
+		want  Engine
+	}{
+		{24, EngineReference}, // ~2.6k tasks: below the crossover, dense regime holds
+		{32, EngineLeap},      // ~6k tasks: reference measured 1.6x slower
+		{48, EngineLeap},      // gap widens with size
+	} {
+		tg := synth.Cholesky(tc.tiles, rand.New(rand.NewSource(1)), synth.DefaultConfig())
+		part, err := schedule.PartitionLTS(tg, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := schedule.Schedule(tg, part, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := ExtractFeatures(tg, res)
+		if got := PickEngine(tg, res, Config{}); got != tc.want {
+			t.Errorf("cholesky tiles=%d (%d tasks): PickEngine = %v, want %v", tc.tiles, f.Tasks, got, tc.want)
+		}
+	}
+}
+
 // TestAutoMatchesPickedEngine checks that an Auto simulation actually runs
 // the engine PickEngine predicts (via the Stats.Leap diagnostics) and
 // produces the same semantic Stats as both fixed engines.

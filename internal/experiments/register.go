@@ -32,6 +32,7 @@ func registerVariants() {
 	RegisterVariant(heftVariant{})
 	RegisterVariant(pipelineVariant{})
 	RegisterVariant(placementVariant{})
+	RegisterVariant(scaleVariant{})
 }
 
 func registerWorkloads() {
@@ -78,6 +79,21 @@ func registerWorkloads() {
 	for _, m := range models {
 		RegisterWorkload(&modelWorkload{key: m.key, family: m.family, gid: m.gid, pes: m.pes, build: m.build})
 	}
+
+	// The scale-out families: the four synthetic families sized by the
+	// task-count ladder (the scale experiment), plus the million-task deep
+	// MLP. The deep MLP is deliberately outside the scale experiment's job
+	// list — building a ~10^6-node model graph is itself seconds of work —
+	// and is exercised by the scale-smoke pipeline test instead.
+	for _, w := range scaleWorkloadDefs() {
+		RegisterWorkload(w)
+	}
+	RegisterWorkload(&modelWorkload{
+		key: "onnx:mlp-deep", family: "MLP", gid: "model:MLP/deep",
+		pes: []int{256},
+		build: func() (*core.TaskGraph, error) {
+			return onnx.MLP(onnx.DeepMLP(980, 512, 64))
+		}})
 }
 
 func registerExperiments() {
@@ -143,6 +159,13 @@ func registerExperiments() {
 		Jobs: pipelineJobs,
 		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
 			renderPipeline(w, set, s.Opt)
+		},
+	})
+	RegisterExperiment(Experiment{
+		Name: "scale", Variants: []string{VariantScale},
+		Jobs: scaleJobs,
+		Render: func(w io.Writer, _ *Plan, set *results.Set, s Spec) {
+			renderScale(w, set, s.Opt)
 		},
 	})
 }

@@ -233,7 +233,7 @@ func (r Runner) runJobs(jobs []CellJob, graphs *GraphCache) ([]*results.Cell, Re
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := &EvalContext{Sched: schedule.NewScheduler(), Sim: desim.NewScratch(), SimEngine: r.SimEngine, measure: r.measure()}
+			ws := &EvalContext{Sched: schedule.NewScheduler(), Part: schedule.NewPartitioner(), Sim: desim.NewScratch(), SimEngine: r.SimEngine, measure: r.measure()}
 			for i := range idxCh {
 				t0 := time.Now()
 				cell, cached, err := r.runCellJob(jobs[i], graphs, ws)

@@ -18,6 +18,11 @@ type EvalContext struct {
 	// Sched is the worker's scratch streaming scheduler (ST/FO/LO
 	// recurrences).
 	Sched *schedule.Scheduler
+	// Part is the worker's scratch Algorithm 1 partitioner; variants that
+	// partition in a measured region use it so steady-state timing excludes
+	// allocation noise. The Partition it returns is valid only until its
+	// next use.
+	Part *schedule.Partitioner
 	// Sim is the worker's scratch discrete-event simulator.
 	Sim *desim.Scratch
 	// SimEngine selects the desim engine for every simulation this worker
@@ -43,6 +48,7 @@ func (c *EvalContext) SimConfig(caps map[[2]graph.NodeID]int64) desim.Config {
 func NewEvalContext() *EvalContext {
 	return &EvalContext{
 		Sched: schedule.NewScheduler(),
+		Part:  schedule.NewPartitioner(),
 		Sim:   desim.NewScratch(),
 		measure: func(f func()) time.Duration {
 			t0 := time.Now()

@@ -37,6 +37,20 @@ func MLP(c MLPConfig) (*core.TaskGraph, error) {
 	return b.Finish()
 }
 
+// DeepMLP returns the configuration of a depth-layer perceptron of uniform
+// width: the scale-out model workload. Each hidden layer lowers to roughly
+// 2*width+4 task-graph nodes (width matmul columns, width ReLU activations,
+// plus the replicate/buffer/merge plumbing), so depth 980 at width 512
+// crosses one million tasks while staying a structurally realistic model
+// graph rather than a synthetic ladder.
+func DeepMLP(depth int, width, batch int64) MLPConfig {
+	layers := make([]int64, depth+1)
+	for i := range layers {
+		layers[i] = width
+	}
+	return MLPConfig{Batch: batch, Layers: layers}
+}
+
 // VGGConfig scales the VGG-16-style network: five convolutional stages of
 // 3x3 convolutions with doubling channel counts, 2x2 max pooling between
 // stages, and a three-layer classifier head.

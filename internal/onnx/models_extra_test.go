@@ -38,6 +38,24 @@ func TestMLPValidation(t *testing.T) {
 	}
 }
 
+func TestDeepMLPNodeScaling(t *testing.T) {
+	c := DeepMLP(16, 64, 4)
+	if len(c.Layers) != 17 || c.Batch != 4 {
+		t.Fatalf("DeepMLP(16, 64, 4) = %+v", c)
+	}
+	tg, err := MLP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each hidden layer lowers to roughly 2*width+4 nodes; the estimate is
+	// what the million-task sizing in scale workloads relies on, so pin it
+	// to within 10%.
+	perLayer := float64(tg.Len()) / 16
+	if est := float64(2*64 + 4); perLayer < 0.9*est || perLayer > 1.1*est {
+		t.Errorf("deep MLP has %.1f nodes/layer, estimate %.0f is off by >10%%", perLayer, est)
+	}
+}
+
 func TestVGGBuildsWithStreamingGain(t *testing.T) {
 	tg, err := VGG(TinyVGG())
 	if err != nil {

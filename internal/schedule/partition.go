@@ -99,7 +99,15 @@ type partitionState struct {
 	placed []bool  // node already assigned to some block
 	level  []int   // structural level, used for tie breaks
 	srcO   []int64 // max O over the current-block sources the node depends on; -1 when not applicable
+	// inCurEpoch stamps the block a node was placed in: a node is in the
+	// current block iff inCurEpoch[v] == epoch. Advancing epoch empties the
+	// set in O(1), where a boolean array would pay an O(n) clear per block.
+	inCurEpoch []int32
+	epoch      int32
 }
+
+// inCur reports whether v is placed in the block currently being filled.
+func (st *partitionState) inCur(v graph.NodeID) bool { return st.inCurEpoch[v] == st.epoch }
 
 // Options configures Algorithm 1.
 type Options struct {
@@ -122,18 +130,36 @@ type Options struct {
 // no candidate exists or the block is full, a new block is opened. The
 // construction guarantees acyclic dependencies between blocks because a node
 // is only ever considered once all its predecessors have been placed.
+//
+// This entry point runs the incremental fast path (see Partitioner); the
+// executable specification it is differentially tested against is
+// PartitionReference. Both produce byte-identical partitions.
 func Algorithm1(t *core.TaskGraph, p int, opt Options) (Partition, error) {
+	return NewPartitioner().Partition(t, p, opt)
+}
+
+// PartitionReference is the direct transcription of Algorithm 1: one linear
+// scan over the frontier per placement (pickCandidate). It is kept as the
+// executable specification the fast path is fuzzed and golden-tested
+// against, exactly like desim's unit-stepping reference engine. Its own
+// bookkeeping is still near-linear — removeSource is an O(1) index-map
+// swap-delete and closeBlock an O(1) epoch bump — so the oracle stays
+// usable at 10^5-task scale; only the per-placement frontier scan (the
+// specification itself) remains super-linear.
+func PartitionReference(t *core.TaskGraph, p int, opt Options) (Partition, error) {
 	if p < 1 {
 		return Partition{}, fmt.Errorf("schedule: need at least one PE, got %d", p)
 	}
 	n := t.G.Len()
 	st := &partitionState{
-		t:      t,
-		p:      p,
-		remIn:  make([]int, n),
-		placed: make([]bool, n),
-		level:  t.G.Levels(),
-		srcO:   make([]int64, n),
+		t:          t,
+		p:          p,
+		remIn:      make([]int, n),
+		placed:     make([]bool, n),
+		level:      t.G.Levels(),
+		srcO:       make([]int64, n),
+		inCurEpoch: make([]int32, n),
+		epoch:      1,
 	}
 	for v := 0; v < n; v++ {
 		st.remIn[v] = t.G.InDegree(graph.NodeID(v))
@@ -142,30 +168,38 @@ func Algorithm1(t *core.TaskGraph, p int, opt Options) (Partition, error) {
 
 	part := Partition{BlockOf: make([]int, n)}
 	cur := Block{}
-	inCur := make([]bool, n) // node in current block
 	remaining := n
 
 	// sources is the frontier of the remaining graph, maintained
 	// incrementally: a node enters when its last predecessor is placed.
+	// srcIdx tracks each node's position in it so removal is O(1).
 	var sources []graph.NodeID
-	for v := 0; v < n; v++ {
-		if st.remIn[v] == 0 {
-			sources = append(sources, graph.NodeID(v))
-		}
+	srcIdx := make([]int32, n)
+	for v := range srcIdx {
+		srcIdx[v] = -1
+	}
+	addSource := func(v graph.NodeID) {
+		srcIdx[v] = int32(len(sources))
+		sources = append(sources, v)
 	}
 	removeSource := func(v graph.NodeID) {
-		for i, s := range sources {
-			if s == v {
-				sources[i] = sources[len(sources)-1]
-				sources = sources[:len(sources)-1]
-				return
-			}
+		i := srcIdx[v]
+		last := len(sources) - 1
+		moved := sources[last]
+		sources[i] = moved
+		srcIdx[moved] = i
+		sources = sources[:last]
+		srcIdx[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if st.remIn[v] == 0 {
+			addSource(graph.NodeID(v))
 		}
 	}
 
 	place := func(v graph.NodeID, asBlockSource bool) {
 		st.placed[v] = true
-		inCur[v] = true
+		st.inCurEpoch[v] = st.epoch
 		cur.Nodes = append(cur.Nodes, v)
 		part.BlockOf[v] = len(part.Blocks)
 		if countsTowardP(t, v) {
@@ -177,7 +211,7 @@ func Algorithm1(t *core.TaskGraph, p int, opt Options) (Partition, error) {
 			// Governed by the max source volume among in-block predecessors.
 			best := int64(-1)
 			for _, u := range t.G.Preds(v) {
-				if inCur[u] && st.srcO[u] > best {
+				if st.inCur(u) && st.srcO[u] > best {
 					best = st.srcO[u]
 				}
 			}
@@ -192,7 +226,7 @@ func Algorithm1(t *core.TaskGraph, p int, opt Options) (Partition, error) {
 		for _, w := range t.G.Succs(v) {
 			st.remIn[w]--
 			if st.remIn[w] == 0 {
-				sources = append(sources, w)
+				addSource(w)
 			}
 		}
 		remaining--
@@ -200,9 +234,7 @@ func Algorithm1(t *core.TaskGraph, p int, opt Options) (Partition, error) {
 	closeBlock := func() {
 		part.Blocks = append(part.Blocks, cur)
 		cur = Block{}
-		for i := range inCur {
-			inCur[i] = false
-		}
+		st.epoch++
 	}
 
 	for remaining > 0 {
@@ -212,7 +244,7 @@ func Algorithm1(t *core.TaskGraph, p int, opt Options) (Partition, error) {
 		cand := graph.InvalidNode
 		candBlockSource := false
 		if cur.ComputeCount < p {
-			cand, candBlockSource = st.pickCandidate(sources, inCur, opt.Variant)
+			cand, candBlockSource = st.pickCandidate(sources, opt.Variant)
 		}
 		if cand != graph.InvalidNode {
 			place(cand, candBlockSource)
@@ -235,7 +267,7 @@ func Algorithm1(t *core.TaskGraph, p int, opt Options) (Partition, error) {
 // pickCandidate implements the candidate rule of Algorithm 1 with a single
 // linear scan over the frontier. Deterministic preference within a class:
 // lower level, then smaller produced volume, then smaller ID.
-func (st *partitionState) pickCandidate(sources []graph.NodeID, inCur []bool, variant Variant) (graph.NodeID, bool) {
+func (st *partitionState) pickCandidate(sources []graph.NodeID, variant Variant) (graph.NodeID, bool) {
 	t := st.t
 	better := func(a, b graph.NodeID) bool { // a preferred over b
 		if b == graph.InvalidNode {
@@ -262,7 +294,7 @@ func (st *partitionState) pickCandidate(sources []graph.NodeID, inCur []bool, va
 			}
 			continue
 		}
-		if !st.hasPredInBlock(v, inCur) {
+		if !st.hasPredInBlock(v) {
 			if better(v, blockSource) {
 				blockSource = v
 			}
@@ -270,7 +302,7 @@ func (st *partitionState) pickCandidate(sources []graph.NodeID, inCur []bool, va
 		}
 		gov := int64(-1)
 		for _, u := range t.G.Preds(v) {
-			if inCur[u] && st.srcO[u] > gov {
+			if st.inCur(u) && st.srcO[u] > gov {
 				gov = st.srcO[u]
 			}
 		}
@@ -290,7 +322,7 @@ func (st *partitionState) pickCandidate(sources []graph.NodeID, inCur []bool, va
 	// Passive nodes never slow a stream and never occupy a PE: take them
 	// eagerly.
 	if passive != graph.InvalidNode {
-		return passive, !st.hasPredInBlock(passive, inCur)
+		return passive, !st.hasPredInBlock(passive)
 	}
 	if class1 != graph.InvalidNode {
 		return class1, false
@@ -304,9 +336,9 @@ func (st *partitionState) pickCandidate(sources []graph.NodeID, inCur []bool, va
 	return graph.InvalidNode, false
 }
 
-func (st *partitionState) hasPredInBlock(v graph.NodeID, inCur []bool) bool {
+func (st *partitionState) hasPredInBlock(v graph.NodeID) bool {
 	for _, u := range st.t.G.Preds(v) {
-		if inCur[u] {
+		if st.inCur(u) {
 			return true
 		}
 	}

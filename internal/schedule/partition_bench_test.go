@@ -1,0 +1,108 @@
+package schedule_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/synth"
+)
+
+// scaleGraph builds the 10^5-task Gaussian-elimination instance the scale
+// benchmarks and the BENCH baseline rows are pinned on.
+func scaleGraph(b *testing.B) *core.TaskGraph {
+	b.Helper()
+	m := synth.GaussianFor(100_000)
+	return synth.Gaussian(m, rand.New(rand.NewSource(1)), synth.DefaultConfig())
+}
+
+// BenchmarkAlgorithm1Scale is the headline fast-vs-reference comparison on a
+// 10^5-task graph: the incremental partitioner must beat the frontier-rescan
+// reference by at least an order of magnitude (the PR 8 acceptance bar).
+func BenchmarkAlgorithm1Scale(b *testing.B) {
+	tg := scaleGraph(b)
+	const p = 256
+	opt := schedule.Options{Variant: schedule.SBLTS}
+	b.Run("gaussian-100k/fast", func(b *testing.B) {
+		pt := schedule.NewPartitioner()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pt.Partition(tg, p, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gaussian-100k/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := schedule.PartitionReference(tg, p, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPartitionerSteadyState pins the allocation-free contract where it
+// matters: a reused Partitioner in a sweep-style loop (the cmd/bench gate
+// checks allocs/op exactly, so any new steady-state allocation fails the
+// regression gate).
+func BenchmarkPartitionerSteadyState(b *testing.B) {
+	m := synth.GaussianFor(10_000)
+	tg := synth.Gaussian(m, rand.New(rand.NewSource(1)), synth.DefaultConfig())
+	pt := schedule.NewPartitioner()
+	opt := schedule.Options{Variant: schedule.SBRLX}
+	if _, err := pt.Partition(tg, 64, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pt.Partition(tg, 64, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionReferenceManyBlocks guards the reference path's own
+// fixes (index-map removeSource, epoch-stamped block membership): a long
+// chain at P=1 closes one block per node, which was quadratic in the number
+// of blocks before PR 8.
+func BenchmarkPartitionReferenceManyBlocks(b *testing.B) {
+	tg := synth.Chain(30_000, rand.New(rand.NewSource(1)), synth.DefaultConfig())
+	opt := schedule.Options{Variant: schedule.SBLTS}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.PartitionReference(tg, 1, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleLadder tracks partition+schedule wall time across graph
+// sizes, the per-size view behind the scale experiment.
+func BenchmarkScaleLadder(b *testing.B) {
+	for _, target := range []int{1_000, 10_000, 100_000} {
+		m := synth.GaussianFor(target)
+		tg := synth.Gaussian(m, rand.New(rand.NewSource(1)), synth.DefaultConfig())
+		b.Run(fmt.Sprintf("gaussian-%d", target), func(b *testing.B) {
+			pt := schedule.NewPartitioner()
+			sched := schedule.NewScheduler()
+			opt := schedule.Options{Variant: schedule.SBLTS}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				part, err := pt.Partition(tg, 256, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sched.Schedule(tg, part, 256); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

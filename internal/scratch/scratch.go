@@ -59,3 +59,15 @@ func GrowInt32s(s []int32, n int) []int32 {
 	clear(s)
 	return s
 }
+
+// GrowSlice is the same contract for any element type: the generic escape
+// hatch for scratch slices whose element is a named type (node IDs, block
+// records) rather than one of the primitives above.
+func GrowSlice[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

@@ -112,4 +112,6 @@ func TestGrowHelpersShareContract(t *testing.T) {
 	growContract(t, "GrowInts", GrowInts, int64(-9))
 	growContract(t, "GrowUints", GrowUints, uint64(9))
 	growContract(t, "GrowInt32s", GrowInt32s, int32(-5))
+	growContract(t, "GrowSlice[int]", GrowSlice[int], -3)
+	growContract(t, "GrowSlice[string]", GrowSlice[string], "dirty")
 }

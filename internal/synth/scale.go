@@ -1,0 +1,57 @@
+// Closed-form task counts for the synthetic families and their inverses:
+// given a target task count, find the smallest size parameter whose graph
+// reaches it. The XL workload families and the scale experiment use these
+// to dial instances up to 10^5-10^6 tasks without building graphs to count
+// them.
+package synth
+
+// ChainTasks returns the task count of Chain(n, ...): n.
+func ChainTasks(n int) int { return n }
+
+// FFTTasks returns the task count of FFT(points, ...):
+// 2*points-1 recursive-call tasks plus log2(points) stages of points
+// butterflies each. points must be a power of two >= 2.
+func FFTTasks(points int) int {
+	stages := 0
+	for 1<<stages < points {
+		stages++
+	}
+	return 2*points - 1 + points*stages
+}
+
+// GaussianTasks returns the task count of Gaussian(m, ...): (m^2+m-2)/2.
+func GaussianTasks(m int) int { return (m*m + m - 2) / 2 }
+
+// CholeskyTasks returns the task count of Cholesky(t, ...):
+// t(t+1)(t+2)/6 = t^3/6 + t^2/2 + t/3.
+func CholeskyTasks(t int) int { return t * (t + 1) * (t + 2) / 6 }
+
+// FFTPointsFor returns the smallest power-of-two point count whose FFT
+// graph has at least target tasks.
+func FFTPointsFor(target int) int {
+	p := 2
+	for FFTTasks(p) < target {
+		p *= 2
+	}
+	return p
+}
+
+// GaussianFor returns the smallest matrix size m whose Gaussian-elimination
+// graph has at least target tasks.
+func GaussianFor(target int) int {
+	m := 2
+	for GaussianTasks(m) < target {
+		m++
+	}
+	return m
+}
+
+// CholeskyFor returns the smallest tile count t whose Cholesky graph has at
+// least target tasks.
+func CholeskyFor(target int) int {
+	t := 1
+	for CholeskyTasks(t) < target {
+		t++
+	}
+	return t
+}

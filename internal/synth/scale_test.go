@@ -1,0 +1,75 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTaskCountFormulas pins the closed forms against graphs actually built
+// by the generators.
+func TestTaskCountFormulas(t *testing.T) {
+	cfg := SmallConfig()
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"chain-8", ChainTasks(8), Chain(8, rng, cfg).G.Len()},
+		{"chain-1", ChainTasks(1), Chain(1, rng, cfg).G.Len()},
+		{"fft-32", FFTTasks(32), FFT(32, rng, cfg).G.Len()},
+		{"fft-2", FFTTasks(2), FFT(2, rng, cfg).G.Len()},
+		{"gaussian-16", GaussianTasks(16), Gaussian(16, rng, cfg).G.Len()},
+		{"gaussian-2", GaussianTasks(2), Gaussian(2, rng, cfg).G.Len()},
+		{"cholesky-8", CholeskyTasks(8), Cholesky(8, rng, cfg).G.Len()},
+		{"cholesky-1", CholeskyTasks(1), Cholesky(1, rng, cfg).G.Len()},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: formula says %d tasks, generator built %d", tc.name, tc.got, tc.want)
+		}
+	}
+	// Figure 10 sizes quoted in the generator docs.
+	if FFTTasks(32) != 223 {
+		t.Errorf("FFTTasks(32) = %d, want 223", FFTTasks(32))
+	}
+	if GaussianTasks(16) != 135 {
+		t.Errorf("GaussianTasks(16) = %d, want 135", GaussianTasks(16))
+	}
+	if CholeskyTasks(8) != 120 {
+		t.Errorf("CholeskyTasks(8) = %d, want 120", CholeskyTasks(8))
+	}
+}
+
+// TestScaleInverses pins that each *For helper returns the smallest
+// parameter reaching the target, across the ladder the scale experiment
+// actually uses.
+func TestScaleInverses(t *testing.T) {
+	for _, target := range []int{1, 100, 1_000, 10_000, 100_000, 1_000_000} {
+		p := FFTPointsFor(target)
+		if FFTTasks(p) < target {
+			t.Errorf("FFTPointsFor(%d) = %d: only %d tasks", target, p, FFTTasks(p))
+		}
+		if p > 2 && FFTTasks(p/2) >= target {
+			t.Errorf("FFTPointsFor(%d) = %d not minimal", target, p)
+		}
+		m := GaussianFor(target)
+		if GaussianTasks(m) < target {
+			t.Errorf("GaussianFor(%d) = %d: only %d tasks", target, m, GaussianTasks(m))
+		}
+		if m > 2 && GaussianTasks(m-1) >= target {
+			t.Errorf("GaussianFor(%d) = %d not minimal", target, m)
+		}
+		c := CholeskyFor(target)
+		if CholeskyTasks(c) < target {
+			t.Errorf("CholeskyFor(%d) = %d: only %d tasks", target, c, CholeskyTasks(c))
+		}
+		if c > 1 && CholeskyTasks(c-1) >= target {
+			t.Errorf("CholeskyFor(%d) = %d not minimal", target, c)
+		}
+	}
+	// The 10^5 rung used by benchmarks and the scale-smoke job.
+	if m := GaussianFor(100_000); m != 447 {
+		t.Errorf("GaussianFor(100000) = %d, want 447 (%d tasks)", m, GaussianTasks(m))
+	}
+}
