@@ -45,12 +45,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buffers"
 	"repro/internal/desim"
 	"repro/internal/noc"
+	"repro/internal/results"
 	"repro/internal/schedule"
 	"repro/internal/service"
 	"repro/internal/streamcli"
@@ -87,36 +89,81 @@ func run() error {
 		listVar   = flag.Bool("list-variants", false, "list the experiment pipeline's registered variants and workloads, then exit")
 
 		// Service mode.
-		serveAddr = flag.String("serve", "", "run as an always-on scheduling service on this address (e.g. :8080)")
-		queueCap  = flag.Int("queue-cap", service.DefaultQueueCap, "admission cap on queued+running jobs; past it submissions get 429 + Retry-After")
-		tick      = flag.Duration("tick", service.DefaultTick, "scheduling-tick period: submissions arriving within one tick are batched")
+		serveAddr  = flag.String("serve", "", "run as an always-on scheduling service on this address (e.g. :8080)")
+		queueCap   = flag.Int("queue-cap", service.DefaultQueueCap, "admission cap on queued+running jobs; past it submissions get 429 + Retry-After")
+		tick       = flag.Duration("tick", service.DefaultTick, "scheduling-tick period: submissions arriving within one tick are batched")
+		tenantsArg = flag.String("tenants", "", "tenant contract for -serve/-loadtest: a JSON file path or inline JSON object (weights, max_open quotas, slo_ms; SIGHUP reloads a file)")
+		batchCap   = flag.Int("batch-cap", 0, "max jobs dispatched per scheduling tick (0 = whole queue); a positive cap makes weighted fair queueing bite under backlog")
+		shed       = flag.String("shed", "", "load-shed policy at a full queue: tail-drop (default), largest-graph-first, or over-quota-first")
+		cacheDir   = flag.String("cache", "", "persistent result-cache directory: schedule reports are reused across submissions and service restarts")
 
 		// Load-test modes.
-		loadURL  = flag.String("loadgen", "", "drive an open-loop load test against a running service at this base URL")
-		loadTest = flag.Bool("loadtest", false, "run an in-process load test: spins up a service (no socket) and drives it")
-		rate     = flag.Float64("rate", 20, "load-test arrival rate, requests per second")
-		requests = flag.Int("requests", 600, "load-test request count")
-		dist     = flag.String("dist", service.DistPoisson, "load-test arrival process: poisson or uniform")
-		workload = flag.String("workload", "synth:fft", "registered workload submitted by the load test (see -list-variants)")
-		loadOut  = flag.String("load-out", "", "write the load-test JSON artifact (streamsched-load/v1) to this file")
+		loadURL   = flag.String("loadgen", "", "drive an open-loop load test against a running service at this base URL")
+		loadTest  = flag.Bool("loadtest", false, "run an in-process load test: spins up a service (no socket) and drives it")
+		rate      = flag.Float64("rate", 20, "load-test arrival rate, requests per second")
+		requests  = flag.Int("requests", 600, "load-test request count")
+		dist      = flag.String("dist", service.DistPoisson, "load-test arrival process: poisson or uniform")
+		workload  = flag.String("workload", "synth:fft", "registered workload submitted by the load test (see -list-variants)")
+		tenantMix = flag.String("tenant-mix", "", "load-test tenant mix: name=share[@slo_ms][/workload],... (see docs/SERVICE.md)")
+		loadOut   = flag.String("load-out", "", "write the load-test JSON artifact ("+service.LoadSchema+") to this file")
 	)
 	flag.Parse()
 
 	if *listVar {
 		return streamcli.ListVariants(os.Stdout)
 	}
-	if *serveAddr != "" {
-		return runServe(*serveAddr, service.Options{
+	svcOpt := func(defaultPEs int) (service.Options, error) {
+		tenants, err := streamcli.ParseTenantsArg(*tenantsArg)
+		if err != nil {
+			return service.Options{}, err
+		}
+		policy, err := service.ParseShedPolicy(*shed)
+		if err != nil {
+			return service.Options{}, err
+		}
+		opt := service.Options{
 			QueueCap:   *queueCap,
 			Workers:    *workers,
 			Tick:       *tick,
-			DefaultPEs: *pes,
-		})
+			DefaultPEs: defaultPEs,
+			Tenants:    tenants,
+			BatchCap:   *batchCap,
+			ShedPolicy: policy,
+		}
+		if *cacheDir != "" {
+			cache, err := results.OpenCache(*cacheDir)
+			if err != nil {
+				return service.Options{}, err
+			}
+			opt.Cache = cache
+		}
+		return opt, nil
+	}
+	if *serveAddr != "" {
+		opt, err := svcOpt(*pes)
+		if err != nil {
+			return err
+		}
+		// SIGHUP reloads the tenant contract only when it came from a
+		// file (inline JSON has nothing new to read).
+		reloadPath := ""
+		if t := strings.TrimSpace(*tenantsArg); t != "" && !strings.HasPrefix(t, "{") {
+			reloadPath = t
+		}
+		return runServe(*serveAddr, opt, reloadPath)
 	}
 	if *loadURL != "" || *loadTest {
+		opt, err := svcOpt(service.DefaultPEs)
+		if err != nil {
+			return err
+		}
+		mix, err := streamcli.ParseTenantMix(*tenantMix)
+		if err != nil {
+			return err
+		}
 		return runLoadTest(loadParams{
 			url:      *loadURL,
-			svcOpt:   service.Options{QueueCap: *queueCap, Workers: *workers, Tick: *tick},
+			svcOpt:   opt,
 			workload: *workload,
 			pes:      *pes,
 			variant:  *variant,
@@ -127,6 +174,7 @@ func run() error {
 				Dist:     *dist,
 				Seed:     *seed,
 				Timeout:  time.Minute,
+				Tenants:  mix,
 			},
 			out: *loadOut,
 		})
@@ -247,8 +295,10 @@ func run() error {
 
 // runServe runs the always-on scheduling service until SIGINT/SIGTERM,
 // then drains: in-flight and queued jobs complete, new submissions get
-// 503, and the process exits 0 on a clean drain.
-func runServe(addr string, opt service.Options) error {
+// 503, and the process exits 0 on a clean drain. SIGHUP reloads the
+// tenant contract from tenantsPath (when the -tenants flag named a
+// file); a malformed file is logged and the running contract kept.
+func runServe(addr string, opt service.Options, tenantsPath string) error {
 	s := service.New(opt)
 	s.Start()
 
@@ -256,10 +306,25 @@ func runServe(addr string, opt service.Options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if tenantsPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if err := s.ReloadTenantsFile(tenantsPath); err != nil {
+					fmt.Fprintf(os.Stderr, "streamsched: tenants reload failed: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "streamsched: reloaded tenant contract from %s\n", tenantsPath)
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "streamsched: serving on %s (queue cap %d, tick %s)\n",
-		addr, opt.QueueCap, opt.Tick)
+	fmt.Fprintf(os.Stderr, "streamsched: serving on %s (queue cap %d, batch cap %d, tick %s, shed %s)\n",
+		addr, opt.QueueCap, opt.BatchCap, opt.Tick, opt.ShedPolicy)
 
 	select {
 	case err := <-errc:
@@ -334,11 +399,15 @@ func runLoadTest(p loadParams) error {
 		}
 	}
 
-	fmt.Printf("requests %d  accepted %d  rejected %d (%.1f%%)  completed %d  errors %d  dropped %d\n",
-		rep.Requests, rep.Accepted, rep.Rejected, 100*rep.RejectionRate, rep.Completed, rep.Errors, rep.Dropped())
+	fmt.Printf("requests %d  accepted %d  rejected %d (%.1f%%)  completed %d  shed %d  errors %d  dropped %d\n",
+		rep.Requests, rep.Accepted, rep.Rejected, 100*rep.RejectionRate, rep.Completed, rep.Shed, rep.Errors, rep.Dropped())
 	fmt.Printf("elapsed %.2fs  throughput %.2f/s\n", rep.ElapsedMs/1000, rep.ThroughputPerSec)
 	fmt.Printf("latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
 		rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms, rep.Latency.MaxMs)
+	for _, ts := range rep.Tenants {
+		fmt.Printf("tenant %-12s requests %d  completed %d  rejected %d  shed %d  slo_misses %d  p99 %.2fms\n",
+			ts.Name, ts.Requests, ts.Completed, ts.Rejected, ts.Shed, ts.SLOMisses, ts.Latency.P99Ms)
+	}
 
 	if p.out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -102,6 +102,64 @@ func writeFileAtomic(path string, data []byte) error {
 	return nil
 }
 
+// blobEnvelope wraps a blob entry so reads can verify the stored payload
+// belongs to the requested key (the same integrity rule as Get: a
+// mismatch — corruption, truncation, a hash collision — is a miss).
+type blobEnvelope struct {
+	Namespace string          `json:"namespace"`
+	Key       CellKey         `json:"key"`
+	Data      json.RawMessage `json:"data"`
+}
+
+// blobPath maps a (namespace, content key) pair to its entry file. Blob
+// namespaces live beside the cell fan-out under "blob-<ns>" so cell
+// entries and blob entries can never collide, while Stats and GC treat
+// both uniformly as cache entries.
+func (c *Cache) blobPath(ns string, k CellKey) string {
+	sum := sha256.Sum256([]byte(ns + "\x00" + k.String()))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, "blob-"+ns, name[:2], name[2:]+".json")
+}
+
+// GetBlob returns the raw JSON payload stored under (namespace, key).
+// Blobs extend the cache beyond float64 cells: callers that need to
+// persist richer results — the scheduling service stores full schedule
+// reports — share the same content-keyed, atomically-written store.
+// Unreadable, corrupt, or mismatched entries report a miss so the caller
+// recomputes and overwrites; a miss is never an error.
+func (c *Cache) GetBlob(ns string, k CellKey) ([]byte, bool) {
+	data, err := os.ReadFile(c.blobPath(ns, k))
+	if err != nil {
+		return nil, false
+	}
+	var env blobEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Namespace != ns || env.Key != k || len(env.Data) == 0 {
+		return nil, false
+	}
+	return env.Data, true
+}
+
+// PutBlob stores a raw JSON payload under (namespace, key), atomically
+// replacing any existing entry. The payload must be valid JSON; a
+// compact payload (json.Marshal output) is returned byte-identical by
+// GetBlob — the property the service's byte-identical caching rests on.
+func (c *Cache) PutBlob(ns string, k CellKey, payload []byte) error {
+	if !json.Valid(payload) {
+		return fmt.Errorf("results: cache put blob: payload for %s is not valid JSON", k)
+	}
+	env := blobEnvelope{Namespace: ns, Key: k, Data: payload}
+	// Marshal (not MarshalIndent): indenting would reformat the embedded
+	// payload, breaking byte-identical round trips.
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("results: cache put blob: encoding envelope: %w", err)
+	}
+	if err := writeFileAtomic(c.blobPath(ns, k), append(data, '\n')); err != nil {
+		return fmt.Errorf("results: cache put blob: %w", err)
+	}
+	return nil
+}
+
 // RunCounters records how one engine run interacted with the cache.
 type RunCounters struct {
 	// Hits is how many cells the run served from the cache; Misses is how

@@ -167,3 +167,79 @@ func TestCacheVersioned(t *testing.T) {
 		t.Errorf("cache dir %q, want %q", got, want)
 	}
 }
+
+// TestBlobRoundTrip: the blob namespace stores arbitrary JSON payloads
+// under the same content keys as cells, verbatim, without colliding with
+// cell entries for the same key.
+func TestBlobRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellKey{Graph: "fp", PEs: 8, Variant: "lts", Simulate: true}
+	payload := []byte(`{"makespan":123.25,"pe":[0,1,2]}`)
+	if _, ok := cache.GetBlob("report", key); ok {
+		t.Fatal("hit on an empty blob namespace")
+	}
+	if err := cache.PutBlob("report", key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.GetBlob("report", key)
+	if !ok {
+		t.Fatal("miss after PutBlob")
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload %s, want %s", got, payload)
+	}
+	// Same key, different namespace or cell store: no bleed-through.
+	if _, ok := cache.GetBlob("other", key); ok {
+		t.Error("hit in a different namespace")
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Error("blob entry served as a cell")
+	}
+	if err := cache.Put(Cell{Key: key, Values: map[string]float64{"x": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cache.GetBlob("report", key); string(got) != string(payload) {
+		t.Error("cell Put disturbed the blob entry")
+	}
+	// Non-JSON payloads are rejected at write time.
+	if err := cache.PutBlob("report", key, []byte("not json")); err == nil {
+		t.Error("PutBlob accepted an invalid JSON payload")
+	}
+}
+
+// TestBlobCorruptEntryIsMiss: unreadable, truncated, or foreign blob
+// entries are misses, never errors or wrong payloads.
+func TestBlobCorruptEntryIsMiss(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellKey{Graph: "fp", PEs: 4, Variant: "v"}
+	if err := cache.PutBlob("report", key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.blobPath("report", key), []byte("{trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.GetBlob("report", key); ok {
+		t.Error("corrupt blob served as a hit")
+	}
+	// An entry whose stored envelope disagrees with its address is a miss.
+	other := CellKey{Graph: "other", PEs: 4, Variant: "v"}
+	if err := cache.PutBlob("report", other, []byte(`{"x":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cache.blobPath("report", other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.blobPath("report", key), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.GetBlob("report", key); ok {
+		t.Error("blob with mismatched key served as a hit")
+	}
+}

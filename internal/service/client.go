@@ -106,8 +106,27 @@ func httpStatusError(resp *http.Response) error {
 	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
 }
 
-// HTTPTarget drives a remote service with one fixed submission per
-// arrival — the load generator's Target over the wire.
+// ErrShed is the Await result of a job the service accepted but then
+// evicted under its load-shed policy: the request was neither completed
+// nor errored, and the load generator accounts it separately.
+var ErrShed = fmt.Errorf("job shed by service load-shed policy")
+
+// overrideReq specializes a target's base submission for one arrival:
+// non-empty tenant and workload fields replace the base request's.
+func overrideReq(base SubmitRequest, tenant, workload string) SubmitRequest {
+	if tenant != "" {
+		base.Tenant = tenant
+	}
+	if workload != "" {
+		base.Workload = workload
+		base.Graph = nil
+	}
+	return base
+}
+
+// HTTPTarget drives a remote service with one submission per arrival —
+// the load generator's Target over the wire. Req is the base request;
+// a tenant mix overrides its tenant and workload per arrival.
 type HTTPTarget struct {
 	Client *Client
 	Req    SubmitRequest
@@ -115,8 +134,8 @@ type HTTPTarget struct {
 	Wait time.Duration
 }
 
-func (t *HTTPTarget) Submit(ctx context.Context) (string, int, bool, error) {
-	resp, depth, ok, err := t.Client.Submit(ctx, t.Req)
+func (t *HTTPTarget) Submit(ctx context.Context, tenant, workload string) (string, int, bool, error) {
+	resp, depth, ok, err := t.Client.Submit(ctx, overrideReq(t.Req, tenant, workload))
 	return resp.ID, depth, ok, err
 }
 
@@ -133,6 +152,8 @@ func (t *HTTPTarget) Await(ctx context.Context, id string) error {
 		switch st.State {
 		case StateDone:
 			return nil
+		case StateShed:
+			return ErrShed
 		case StateFailed:
 			return fmt.Errorf("job %s failed: %s", id, st.Error)
 		}
@@ -150,8 +171,8 @@ type LocalTarget struct {
 	Req     SubmitRequest
 }
 
-func (t *LocalTarget) Submit(ctx context.Context) (string, int, bool, error) {
-	resp, err := t.Service.Submit(t.Req)
+func (t *LocalTarget) Submit(ctx context.Context, tenant, workload string) (string, int, bool, error) {
+	resp, err := t.Service.Submit(overrideReq(t.Req, tenant, workload))
 	if err != nil {
 		if ae, ok := err.(*admissionError); ok {
 			return "", ae.depth, false, nil
@@ -170,6 +191,8 @@ func (t *LocalTarget) Await(ctx context.Context, id string) error {
 		switch st.State {
 		case StateDone:
 			return nil
+		case StateShed:
+			return ErrShed
 		case StateFailed:
 			return fmt.Errorf("job %s failed: %s", id, st.Error)
 		}

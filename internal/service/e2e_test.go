@@ -14,16 +14,68 @@ import (
 	"repro/internal/schedule"
 )
 
-// TestConcurrentSubmittersByteIdentical is the race e2e: N concurrent
-// submitters fire a mix of workloads, PE counts, and variants at one
-// service instance over HTTP, and every accepted job's schedule report
-// must be byte-identical to a direct batch-mode evaluation (the same
-// schedule.Algorithm1 + schedule.Schedule call sequence, via BuildReport)
-// of the same submission. Concurrency, batching order, and coalescing
-// must not be observable in the results. Run with -race in CI.
+// batchHistory records the per-batch served/backlog snapshots the
+// testHookBatch hook emits, for fairness analysis after the run.
+type batchHistory struct {
+	mu    sync.Mutex
+	ticks []map[string]int64
+	backl []map[string]bool
+}
+
+func (h *batchHistory) record(served map[string]int64, backlogged map[string]bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ticks = append(h.ticks, served)
+	h.backl = append(h.backl, backlogged)
+}
+
+// referenceBytes computes the batch-mode reference report bytes for a
+// submission, directly via BuildReport without the service.
+func referenceBytes(t *testing.T, req SubmitRequest) []byte {
+	t.Helper()
+	tg, err := buildGraph(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varName := req.Variant
+	if varName == "" {
+		varName = "lts"
+	}
+	v, err := parseVariant(varName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BuildReport(tg, req.PEs, v, varName, req.Simulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestConcurrentSubmittersByteIdentical is the race e2e: concurrent
+// submitters from three tenants with unequal weights fire a mix of
+// workloads, PE counts, and variants at one service instance over HTTP,
+// and every accepted job's schedule report must be byte-identical to a
+// direct batch-mode evaluation (the same schedule.Algorithm1 +
+// schedule.Schedule call sequence, via BuildReport) of the same
+// submission. Concurrency, tenancy, fair-queueing order, batching, and
+// coalescing must not be observable in the results — and while all three
+// tenants are backlogged, each batch serves them in proportion to their
+// weights within one job. Run with -race in CI.
 func TestConcurrentSubmittersByteIdentical(t *testing.T) {
-	s := New(Options{QueueCap: 256, Workers: 4, Tick: time.Millisecond})
-	s.Start()
+	cfg, err := ParseTenantsConfig([]byte(
+		`{"default":{"weight":1},"tenants":{"gold":{"weight":3},"silver":{"weight":2},"bronze":{"weight":1}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchCap = 6
+	s := New(Options{QueueCap: 256, Workers: 4, Tick: time.Millisecond, Tenants: cfg, BatchCap: batchCap})
+	var hist batchHistory
+	s.testHookBatch = hist.record
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
@@ -41,56 +93,59 @@ func TestConcurrentSubmittersByteIdentical(t *testing.T) {
 		{Workload: "onnx:mlp", PEs: 16},
 		{Workload: "synth:cholesky", Seed: 5, PEs: 8, Variant: "rlx"},
 	}
-	// The batch-mode reference bytes, computed directly without the
-	// service.
 	want := make([][]byte, len(reqs))
 	for i, req := range reqs {
-		tg, err := buildGraph(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		varName := req.Variant
-		if varName == "" {
-			varName = "lts"
-		}
-		v, err := parseVariant(varName)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rep, err := BuildReport(tg, req.PEs, v, varName, req.Simulate)
-		if err != nil {
-			t.Fatal(err)
-		}
-		want[i], err = json.Marshal(rep)
-		if err != nil {
-			t.Fatal(err)
-		}
+		want[i] = referenceBytes(t, req)
 	}
 
-	const submitters = 8
+	// Submitter count per tenant is proportional to its weight, so under
+	// backlog every tenant drains at the same relative rate and the fair
+	// queue is exercised end to end.
+	tenantOf := []string{"gold", "gold", "gold", "silver", "silver", "bronze"}
 	const perSubmitter = 12
+	// Phase 1: every submitter races its full stream in while the service
+	// is accepting but not yet ticking, so dispatch runs against a real
+	// sustained backlog. Per-tenant demand stays proportional to weight
+	// (36:24:12 at weights 3:2:1), so all three tenants drain together.
+	ids := make([][]string, len(tenantOf))
 	var wg sync.WaitGroup
-	errs := make(chan error, submitters*perSubmitter)
-	for w := 0; w < submitters; w++ {
+	errs := make(chan error, len(tenantOf)*perSubmitter)
+	for w := range tenantOf {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			cl := &Client{Base: srv.URL}
 			for k := 0; k < perSubmitter; k++ {
 				which := (w + k) % len(reqs)
-				resp, _, ok, err := cl.Submit(ctx, reqs[which])
+				req := reqs[which]
+				req.Tenant = tenantOf[w]
+				resp, _, ok, err := cl.Submit(ctx, req)
 				if err != nil || !ok {
 					errs <- fmt.Errorf("submitter %d: submit %d: ok=%v err=%v", w, k, ok, err)
 					return
 				}
-				got, err := fetchScheduleBytes(ctx, srv.URL, resp.ID)
+				ids[w] = append(ids[w], resp.ID)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Start()
+	// Phase 2: fetch every result (racing the ticks) and compare against
+	// batch mode.
+	for w := range tenantOf {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k, id := range ids[w] {
+				which := (w + k) % len(reqs)
+				got, err := fetchScheduleBytes(ctx, srv.URL, id)
 				if err != nil {
-					errs <- fmt.Errorf("submitter %d: job %s: %v", w, resp.ID, err)
+					errs <- fmt.Errorf("submitter %d: job %s: %v", w, id, err)
 					return
 				}
 				if !bytes.Equal(got, want[which]) {
 					errs <- fmt.Errorf("submitter %d: job %s (req %d): schedule differs from batch mode\n got: %s\nwant: %s",
-						w, resp.ID, which, got, want[which])
+						w, id, which, got, want[which])
 					return
 				}
 			}
@@ -103,14 +158,169 @@ func TestConcurrentSubmittersByteIdentical(t *testing.T) {
 	}
 
 	st := s.Status()
-	if st.Accepted != submitters*perSubmitter {
-		t.Errorf("accepted %d of %d submissions", st.Accepted, submitters*perSubmitter)
+	if st.Accepted != int64(len(tenantOf)*perSubmitter) {
+		t.Errorf("accepted %d of %d submissions", st.Accepted, len(tenantOf)*perSubmitter)
 	}
 	if st.Failed != 0 {
 		t.Errorf("%d jobs failed", st.Failed)
 	}
 	if err := s.Close(ctx); err != nil {
 		t.Fatal(err)
+	}
+
+	// Fairness: in every full batch dispatched while all three tenants
+	// were backlogged (per the previous batch's snapshot), the served
+	// shares match the 3:2:1 weights within one job.
+	weights := map[string]int64{"gold": 3, "silver": 2, "bronze": 1}
+	checked := 0
+	for i := 1; i < len(hist.ticks); i++ {
+		all := true
+		for name := range weights {
+			all = all && hist.backl[i-1][name]
+		}
+		var total int64
+		for name := range weights {
+			total += hist.ticks[i][name] - hist.ticks[i-1][name]
+		}
+		if !all || total != batchCap {
+			continue
+		}
+		checked++
+		for name, w := range weights {
+			d := hist.ticks[i][name] - hist.ticks[i-1][name]
+			if d < w-1 || d > w+1 {
+				t.Errorf("batch %d: tenant %s served %d, want %d±1", i, name, d, w)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no fully-backlogged batches observed; fairness property unexercised")
+	}
+}
+
+// TestFairShareWindowsE2E is the fairness acceptance e2e: two tenants at
+// weights 3:1 submit identical sustained load over HTTP (racing
+// goroutines; run with -race in CI), and over any 10-tick window of the
+// backlogged stretch the served shares are 3:1 within one job — while
+// every served schedule stays byte-identical to batch mode.
+func TestFairShareWindowsE2E(t *testing.T) {
+	cfg, err := ParseTenantsConfig([]byte(
+		`{"default":{"weight":1},"tenants":{"gold":{"weight":3},"econ":{"weight":1}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchCap = 4
+	const perTenant = 160
+	s := New(Options{QueueCap: 2 * perTenant, Workers: 4, Tick: time.Millisecond, Tenants: cfg, BatchCap: batchCap})
+	var hist batchHistory
+	s.testHookBatch = hist.record
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Identical load: both tenants cycle the same four submission
+	// contents. Reference bytes come straight from batch mode.
+	seeds := []int64{1, 2, 3, 4}
+	want := make(map[int64][]byte, len(seeds))
+	for _, seed := range seeds {
+		want[seed] = referenceBytes(t, fftReq(seed))
+	}
+
+	// Preload racing over HTTP: both tenants' submitters run concurrently
+	// while the service is accepting but not yet ticking, so the whole
+	// run is a sustained-backlog regime with exact window accounting.
+	type jobRef struct {
+		id   string
+		seed int64
+	}
+	refs := make([][]jobRef, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*perTenant)
+	for w, tenant := range []string{"gold", "econ"} {
+		wg.Add(1)
+		go func(w int, tenant string) {
+			defer wg.Done()
+			cl := &Client{Base: srv.URL}
+			for k := 0; k < perTenant; k++ {
+				seed := seeds[k%len(seeds)]
+				req := fftReq(seed)
+				req.Tenant = tenant
+				resp, _, ok, err := cl.Submit(ctx, req)
+				if err != nil || !ok {
+					errs <- fmt.Errorf("%s submit %d: ok=%v err=%v", tenant, k, ok, err)
+					return
+				}
+				refs[w] = append(refs[w], jobRef{resp.ID, seed})
+			}
+		}(w, tenant)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	// Fetch every result (racing the ticks) and verify byte-identity.
+	errs = make(chan error, 2*perTenant)
+	for w := range refs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, ref := range refs[w] {
+				got, err := fetchScheduleBytes(ctx, srv.URL, ref.id)
+				if err != nil {
+					errs <- fmt.Errorf("job %s: %v", ref.id, err)
+					return
+				}
+				if !bytes.Equal(got, want[ref.seed]) {
+					errs <- fmt.Errorf("job %s (seed %d): schedule differs from batch mode", ref.id, ref.seed)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Window analysis over the stretch where both tenants stayed
+	// backlogged: every 10-tick window serves 40 jobs split 30:10 ±1.
+	hist.mu.Lock()
+	defer hist.mu.Unlock()
+	bothBacklogged := 0
+	for i := 0; i < len(hist.backl); i++ {
+		if hist.backl[i]["gold"] && hist.backl[i]["econ"] {
+			bothBacklogged = i + 1
+		} else {
+			break
+		}
+	}
+	type point struct{ gold, econ int64 }
+	series := []point{{0, 0}}
+	for i := 0; i < bothBacklogged; i++ {
+		series = append(series, point{hist.ticks[i]["gold"], hist.ticks[i]["econ"]})
+	}
+	windows := 0
+	for lo := 0; lo+10 < len(series); lo++ {
+		dg := series[lo+10].gold - series[lo].gold
+		de := series[lo+10].econ - series[lo].econ
+		if dg < 29 || dg > 31 || de < 9 || de > 11 || dg+de != 10*batchCap {
+			t.Errorf("window [%d,%d): gold %d econ %d, want 30:10 within 1", lo, lo+10, dg, de)
+		}
+		windows++
+	}
+	// gold's 160 jobs at 3/tick last ~53 backlogged ticks: the analysis
+	// must have had a real sustained stretch to chew on.
+	if windows < 20 {
+		t.Errorf("only %d 10-tick windows under full backlog (%d backlogged ticks); load did not sustain", windows, bothBacklogged)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -26,8 +27,9 @@ import (
 // latencies are real wall-clock measurements; the trace is still the
 // same requests at the same offsets.
 
-// LoadSchema versions the load-test artifact format.
-const LoadSchema = "streamsched-load/v1"
+// LoadSchema versions the load-test artifact format. v2 added the shed
+// counter and the per-tenant summary table (tenant mixes).
+const LoadSchema = "streamsched-load/v2"
 
 // Arrival distributions.
 const (
@@ -86,11 +88,63 @@ func Arrivals(dist string, rate float64, n int, seed int64) ([]time.Duration, er
 // accepted submissions one Await until the result is ready. HTTPTarget
 // and LocalTarget (client.go) drive a real service; tests use stubs.
 type Target interface {
-	// Submit issues one request. ok reports admission; a rejection is not
-	// an error. depth is the service queue depth the response carried.
-	Submit(ctx context.Context) (id string, depth int, ok bool, err error)
-	// Await blocks until the accepted job's result is ready.
+	// Submit issues one request as tenant (empty means the target's base
+	// request) for workload (empty means the base workload/graph). ok
+	// reports admission; a rejection is not an error. depth is the
+	// service queue depth the response carried.
+	Submit(ctx context.Context, tenant, workload string) (id string, depth int, ok bool, err error)
+	// Await blocks until the accepted job resolves: nil once done,
+	// ErrShed if the service's load-shed policy evicted it.
 	Await(ctx context.Context, id string) error
+}
+
+// TenantShare is one tenant's slice of a load-test mix.
+type TenantShare struct {
+	// Name is the tenant submitted as; Share is its fraction of the
+	// request stream (shares are normalized over the mix).
+	Name  string  `json:"name"`
+	Share float64 `json:"share"`
+	// SLOMs, when positive, is the latency bound this tenant's completed
+	// requests are scored against in the per-tenant report.
+	SLOMs float64 `json:"slo_ms,omitempty"`
+	// Workload, when set, overrides the base request's workload for this
+	// tenant's submissions (how a mix models one tenant submitting
+	// larger graphs than another).
+	Workload string `json:"workload,omitempty"`
+}
+
+// AssignTenants maps each of n request indices to a tenant of the mix,
+// deterministically and in exact proportion to the shares: request i
+// goes to the tenant minimizing (assigned+1)/share — the same virtual-
+// finish-time rule as the service's fair queue, with mix order breaking
+// ties. An empty mix assigns every request to the base tenant (-1).
+func AssignTenants(mix []TenantShare, n int) []int {
+	out := make([]int, n)
+	if len(mix) == 0 {
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	counts := make([]float64, len(mix))
+	for i := range out {
+		best := -1
+		bestFin := math.Inf(1)
+		for t, ts := range mix {
+			if ts.Share <= 0 {
+				continue
+			}
+			if fin := (counts[t] + 1) / ts.Share; fin < bestFin {
+				best, bestFin = t, fin
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		counts[best]++
+		out[i] = best
+	}
+	return out
 }
 
 // LoadConfig parameterizes one load-test run.
@@ -111,14 +165,20 @@ type LoadConfig struct {
 	// clock. Replay tests use it; real load tests must leave it false
 	// (open-loop).
 	Sync bool
+	// Tenants is the multi-tenant mix (-tenant-mix); empty means every
+	// request is the base request's tenant. Assignment is AssignTenants,
+	// a pure function of (mix, Requests).
+	Tenants []TenantShare
 }
 
 // sample is one request's measured outcome, indexed by arrival.
 type sample struct {
 	at        time.Duration
+	tenant    int // mix index, -1 for the base tenant
 	depth     int
 	accepted  bool
 	completed bool
+	shed      bool
 	errored   bool
 	latency   time.Duration
 }
@@ -126,9 +186,14 @@ type sample struct {
 // TraceEvent is one request in the report's trace.
 type TraceEvent struct {
 	Request int `json:"request"`
+	// Tenant is the mix tenant the request was submitted as (absent
+	// without a mix).
+	Tenant string `json:"tenant,omitempty"`
 	// AtMs is the planned arrival offset from the run start.
 	AtMs     float64 `json:"at_ms"`
 	Accepted bool    `json:"accepted"`
+	// Shed marks accepted requests the service evicted under load.
+	Shed bool `json:"shed,omitempty"`
 	// LatencyMs is submit-to-result scheduling latency for completed
 	// requests.
 	LatencyMs float64 `json:"latency_ms,omitempty"`
@@ -157,6 +222,26 @@ type LatencySummary struct {
 	MaxMs float64 `json:"max_ms"`
 }
 
+// TenantLoadSummary is one tenant's row of a mixed load report.
+type TenantLoadSummary struct {
+	Name     string  `json:"name"`
+	Share    float64 `json:"share"`
+	Workload string  `json:"workload,omitempty"`
+	// SLOTargetMs is the mix's latency bound for this tenant; SLOMisses
+	// counts completed requests over it (0 target disables scoring).
+	SLOTargetMs float64 `json:"slo_target_ms,omitempty"`
+	SLOMisses   int     `json:"slo_misses"`
+
+	Requests  int `json:"requests"`
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+	Errors    int `json:"errors"`
+
+	Latency LatencySummary `json:"latency"`
+}
+
 // LoadReport is the JSON artifact of one load-test run.
 type LoadReport struct {
 	Schema     string  `json:"schema"`
@@ -168,7 +253,10 @@ type LoadReport struct {
 	Accepted  int `json:"accepted"`
 	Rejected  int `json:"rejected"`
 	Completed int `json:"completed"`
-	Errors    int `json:"errors"`
+	// Shed counts accepted requests the service's load-shed policy
+	// evicted — resolved, but never evaluated.
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
 
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// ThroughputPerSec is completed requests per second of elapsed time.
@@ -179,12 +267,15 @@ type LoadReport struct {
 	Latency    LatencySummary `json:"latency"`
 	Histogram  []HistBucket   `json:"histogram"`
 	QueueDepth []QueueSample  `json:"queue_depth"`
-	Trace      []TraceEvent   `json:"trace,omitempty"`
+	// Tenants is the per-tenant breakdown of a mixed run, in mix order.
+	Tenants []TenantLoadSummary `json:"tenants,omitempty"`
+	Trace   []TraceEvent        `json:"trace,omitempty"`
 }
 
-// Dropped reports accepted jobs that never completed — the zero-drop
-// acceptance condition of a sustainable-rate run.
-func (r *LoadReport) Dropped() int { return r.Accepted - r.Completed }
+// Dropped reports accepted jobs that never resolved — the zero-drop
+// acceptance condition of a sustainable-rate run. Shed jobs resolved
+// (deliberately, by policy), so they are not drops.
+func (r *LoadReport) Dropped() int { return r.Accepted - r.Completed - r.Shed }
 
 // RunLoad drives one open-loop load test: sleep to each arrival offset,
 // submit, and (for accepted jobs) await the result, measuring
@@ -202,6 +293,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig, t Target, clk Clock) (*LoadRep
 	if err != nil {
 		return nil, err
 	}
+	for i, ts := range cfg.Tenants {
+		if strings.TrimSpace(ts.Name) == "" {
+			return nil, fmt.Errorf("loadgen: tenant mix entry %d has no name", i)
+		}
+		if ts.Share <= 0 || math.IsNaN(ts.Share) || math.IsInf(ts.Share, 0) {
+			return nil, fmt.Errorf("loadgen: tenant %q: share must be positive, got %g", ts.Name, ts.Share)
+		}
+	}
+	assign := AssignTenants(cfg.Tenants, len(arrivals))
 	start := clk.Now()
 	samples := make([]sample, len(arrivals))
 	var wg sync.WaitGroup
@@ -221,8 +321,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig, t Target, clk Clock) (*LoadRep
 			}
 			sm := &samples[i]
 			sm.at = at
+			sm.tenant = assign[i]
+			tenant, workload := "", ""
+			if sm.tenant >= 0 {
+				tenant = cfg.Tenants[sm.tenant].Name
+				workload = cfg.Tenants[sm.tenant].Workload
+			}
 			issued := clk.Now()
-			id, depth, ok, err := t.Submit(rctx)
+			id, depth, ok, err := t.Submit(rctx, tenant, workload)
 			sm.depth = depth
 			if err != nil {
 				sm.errored = true
@@ -232,7 +338,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig, t Target, clk Clock) (*LoadRep
 				return
 			}
 			sm.accepted = true
-			if err := t.Await(rctx, id); err != nil {
+			switch err := t.Await(rctx, id); {
+			case err == ErrShed:
+				sm.shed = true
+				return
+			case err != nil:
 				sm.errored = true
 				return
 			}
@@ -263,25 +373,63 @@ func buildLoadReport(cfg LoadConfig, samples []sample, elapsed time.Duration) *L
 		Requests:   len(samples),
 		ElapsedMs:  ms(elapsed),
 	}
+	perTenant := make([]TenantLoadSummary, len(cfg.Tenants))
+	tenantLats := make([][]time.Duration, len(cfg.Tenants))
+	for t, ts := range cfg.Tenants {
+		perTenant[t] = TenantLoadSummary{
+			Name: ts.Name, Share: ts.Share, Workload: ts.Workload, SLOTargetMs: ts.SLOMs,
+		}
+	}
 	var latencies []time.Duration
 	for i := range samples {
 		sm := &samples[i]
-		ev := TraceEvent{Request: i, AtMs: ms(sm.at), Accepted: sm.accepted, Error: sm.errored}
+		ev := TraceEvent{Request: i, AtMs: ms(sm.at), Accepted: sm.accepted, Shed: sm.shed, Error: sm.errored}
+		var ten *TenantLoadSummary
+		if sm.tenant >= 0 && sm.tenant < len(perTenant) {
+			ten = &perTenant[sm.tenant]
+			ten.Requests++
+			ev.Tenant = ten.Name
+		}
 		switch {
 		case sm.errored:
 			rep.Errors++
+			if ten != nil {
+				ten.Errors++
+			}
 			if sm.accepted {
 				rep.Accepted++
+				if ten != nil {
+					ten.Accepted++
+				}
 			}
 		case sm.accepted:
 			rep.Accepted++
-			if sm.completed {
+			if ten != nil {
+				ten.Accepted++
+			}
+			switch {
+			case sm.shed:
+				rep.Shed++
+				if ten != nil {
+					ten.Shed++
+				}
+			case sm.completed:
 				rep.Completed++
 				latencies = append(latencies, sm.latency)
 				ev.LatencyMs = ms(sm.latency)
+				if ten != nil {
+					ten.Completed++
+					tenantLats[sm.tenant] = append(tenantLats[sm.tenant], sm.latency)
+					if ten.SLOTargetMs > 0 && ms(sm.latency) > ten.SLOTargetMs {
+						ten.SLOMisses++
+					}
+				}
 			}
 		default:
 			rep.Rejected++
+			if ten != nil {
+				ten.Rejected++
+			}
 		}
 		rep.Trace = append(rep.Trace, ev)
 		rep.QueueDepth = append(rep.QueueDepth, QueueSample{Request: i, Depth: sm.depth})
@@ -294,6 +442,10 @@ func buildLoadReport(cfg LoadConfig, samples []sample, elapsed time.Duration) *L
 	}
 	rep.Latency = summarizeLatency(latencies)
 	rep.Histogram = latencyHistogram(latencies)
+	for t := range perTenant {
+		perTenant[t].Latency = summarizeLatency(tenantLats[t])
+	}
+	rep.Tenants = perTenant
 	return rep
 }
 

@@ -42,7 +42,7 @@ type stubTarget struct {
 	rejectEvery int
 }
 
-func (t *stubTarget) Submit(ctx context.Context) (string, int, bool, error) {
+func (t *stubTarget) Submit(ctx context.Context, tenant, workload string) (string, int, bool, error) {
 	t.seq++
 	if t.rejectEvery > 0 && t.seq%t.rejectEvery == 0 {
 		return "", t.seq % 7, false, nil
@@ -208,6 +208,157 @@ func TestSummarizeLatency(t *testing.T) {
 	s := summarizeLatency(lat)
 	if s.P50Ms != 50 || s.P95Ms != 95 || s.P99Ms != 99 || s.MaxMs != 100 {
 		t.Errorf("percentiles %+v", s)
+	}
+}
+
+// mixTarget is a deterministic multi-tenant system-under-test: per-tenant
+// fixed service times, a recorded (tenant, workload) stream, and a shed
+// for every shedEvery-th submission of the tenant named shedTenant.
+type mixTarget struct {
+	clk       Clock
+	latency   map[string]time.Duration
+	shedNth   int // shed the Nth submission (1-based) of shedTenant
+	shedSeq   int
+	seq       int
+	submitted []string // "tenant|workload" per call, in order
+	tenantOf  map[string]string
+	shedIDs   map[string]bool
+
+	shedTenant string
+}
+
+func (t *mixTarget) Submit(ctx context.Context, tenant, workload string) (string, int, bool, error) {
+	t.seq++
+	id := fmt.Sprintf("m%d", t.seq)
+	t.submitted = append(t.submitted, tenant+"|"+workload)
+	if t.tenantOf == nil {
+		t.tenantOf = map[string]string{}
+		t.shedIDs = map[string]bool{}
+	}
+	t.tenantOf[id] = tenant
+	if tenant == t.shedTenant {
+		t.shedSeq++
+		if t.shedSeq == t.shedNth {
+			t.shedIDs[id] = true
+		}
+	}
+	return id, t.seq % 3, true, nil
+}
+
+func (t *mixTarget) Await(ctx context.Context, id string) error {
+	if t.shedIDs[id] {
+		return ErrShed
+	}
+	t.clk.Sleep(t.latency[t.tenantOf[id]])
+	return nil
+}
+
+// TestLoadTenantMixReport: a tenant mix splits the request stream in
+// exact share proportion, routes per-tenant workload overrides to the
+// target, scores each tenant's completed requests against its own SLO
+// bound, and books sheds per tenant — and the mixed run replays
+// byte-identically on a fixed seed.
+func TestLoadTenantMixReport(t *testing.T) {
+	mix := []TenantShare{
+		{Name: "interactive", Share: 3, SLOMs: 2},
+		{Name: "batch", Share: 1, SLOMs: 1, Workload: "synth:cholesky"},
+	}
+	run := func() (*LoadReport, *mixTarget) {
+		clk := &manualClock{now: time.Unix(0, 0)}
+		tgt := &mixTarget{
+			clk: clk,
+			latency: map[string]time.Duration{
+				"interactive": time.Millisecond,     // within its 2ms SLO
+				"batch":       3 * time.Millisecond, // over its 1ms SLO
+			},
+			shedTenant: "batch",
+			shedNth:    2,
+		}
+		rep, err := RunLoad(context.Background(), LoadConfig{
+			Requests: 40,
+			Rate:     1000,
+			Dist:     DistUniform,
+			Seed:     5,
+			Sync:     true,
+			Tenants:  mix,
+		}, tgt, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, tgt
+	}
+	rep, tgt := run()
+
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("tenant rows: %+v", rep.Tenants)
+	}
+	inter, batch := rep.Tenants[0], rep.Tenants[1]
+	// Shares 3:1 over 40 requests split exactly 30:10.
+	if inter.Requests != 30 || batch.Requests != 10 {
+		t.Errorf("request split %d:%d, want 30:10", inter.Requests, batch.Requests)
+	}
+	// Workload overrides reach the target verbatim; the majority tenant
+	// submits the base request (empty override).
+	interSubs, batchSubs := 0, 0
+	for _, s := range tgt.submitted {
+		switch s {
+		case "interactive|":
+			interSubs++
+		case "batch|synth:cholesky":
+			batchSubs++
+		default:
+			t.Fatalf("unexpected submission %q", s)
+		}
+	}
+	if interSubs != 30 || batchSubs != 10 {
+		t.Errorf("submitted split %d:%d, want 30:10", interSubs, batchSubs)
+	}
+	// SLO scoring is per tenant bound: interactive (1ms <= 2ms) clean,
+	// batch (3ms > 1ms) misses on every completed request.
+	if inter.SLOMisses != 0 || inter.Completed != 30 {
+		t.Errorf("interactive: %+v", inter)
+	}
+	if batch.Shed != 1 || batch.Completed != 9 || batch.SLOMisses != 9 {
+		t.Errorf("batch: %+v", batch)
+	}
+	if rep.Shed != 1 || rep.Completed != 39 || rep.Dropped() != 0 {
+		t.Errorf("global: shed %d completed %d dropped %d", rep.Shed, rep.Completed, rep.Dropped())
+	}
+	if inter.Latency.P50Ms != 1 || batch.Latency.P50Ms != 3 {
+		t.Errorf("per-tenant latency: %+v / %+v", inter.Latency, batch.Latency)
+	}
+
+	// Fixed-seed mixed replay is byte-identical.
+	rep2, _ := run()
+	ja, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatal("mixed fixed-seed replay diverged")
+	}
+}
+
+// TestRunLoadRejectsBadMix: malformed tenant mixes fail up front, before
+// any load is offered.
+func TestRunLoadRejectsBadMix(t *testing.T) {
+	clk := &manualClock{now: time.Unix(0, 0)}
+	for _, mix := range [][]TenantShare{
+		{{Name: " ", Share: 1}},
+		{{Name: "a", Share: 0}},
+		{{Name: "a", Share: -2}},
+		{{Name: "a", Share: math.Inf(1)}},
+	} {
+		_, err := RunLoad(context.Background(), LoadConfig{
+			Requests: 1, Rate: 100, Dist: DistUniform, Sync: true, Tenants: mix,
+		}, &stubTarget{clk: clk}, clk)
+		if err == nil {
+			t.Errorf("mix %+v accepted", mix)
+		}
 	}
 }
 

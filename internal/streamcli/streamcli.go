@@ -21,8 +21,75 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/schedule"
+	"repro/internal/service"
 	"repro/internal/synth"
 )
+
+// ParseTenantsArg resolves the -tenants flag: inline JSON (starts with
+// '{') or a path to a tenants-config file. Both are validated the same
+// way; "" is the single-tenant default contract.
+func ParseTenantsArg(s string) (service.TenantsConfig, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return service.DefaultTenantsConfig(), nil
+	case strings.HasPrefix(s, "{"):
+		return service.ParseTenantsConfig([]byte(s))
+	}
+	return service.LoadTenantsFile(s)
+}
+
+// ParseTenantMix parses the -tenant-mix flag: comma-separated
+// name=share[@slo_ms][/workload] entries, e.g.
+//
+//	interactive=3@50,batch=1/synth:cholesky
+//
+// Shares are relative weights (normalized over the mix); @slo_ms scores
+// the tenant's completed requests against a latency bound in the load
+// report; /workload overrides the base workload for that tenant's
+// submissions. "" means no mix.
+func ParseTenantMix(s string) ([]service.TenantShare, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var mix []service.TenantShare
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("tenant mix: empty entry")
+		}
+		name, val, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant mix: entry %q is not name=share[@slo_ms][/workload]", entry)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tenant mix: tenant %q listed twice", name)
+		}
+		seen[name] = true
+		ts := service.TenantShare{Name: name}
+		if val, ts.Workload, ok = strings.Cut(val, "/"); ok && ts.Workload == "" {
+			return nil, fmt.Errorf("tenant mix: tenant %q has an empty workload override", name)
+		}
+		shareStr, sloStr, hasSLO := strings.Cut(val, "@")
+		share, err := strconv.ParseFloat(strings.TrimSpace(shareStr), 64)
+		if err != nil || share <= 0 {
+			return nil, fmt.Errorf("tenant mix: tenant %q: share %q must be a positive number", name, shareStr)
+		}
+		ts.Share = share
+		if hasSLO {
+			slo, err := strconv.ParseFloat(strings.TrimSpace(sloStr), 64)
+			if err != nil || slo <= 0 {
+				return nil, fmt.Errorf("tenant mix: tenant %q: slo_ms %q must be a positive number", name, sloStr)
+			}
+			ts.SLOMs = slo
+		}
+		mix = append(mix, ts)
+	}
+	return mix, nil
+}
 
 // ParseVariant maps the CLI spellings of the spatial-block heuristics to
 // schedule variants.

@@ -9,7 +9,90 @@ import (
 
 	"repro/internal/results"
 	"repro/internal/schedule"
+	"repro/internal/service"
 )
+
+func TestParseTenantsArg(t *testing.T) {
+	// Empty means the single-tenant default contract.
+	cfg, err := ParseTenantsArg("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.Weight != 1 || len(cfg.Tenants) != 0 {
+		t.Fatalf("empty arg: %+v", cfg)
+	}
+
+	// Inline JSON (leading '{') parses without touching the filesystem.
+	cfg, err = ParseTenantsArg(` {"default":{"weight":2},"tenants":{"gold":{"weight":3,"max_open":8}}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.Weight != 2 || cfg.Tenants["gold"].MaxOpen != 8 {
+		t.Fatalf("inline arg: %+v", cfg)
+	}
+
+	// Anything else is a file path, validated the same way.
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants":{"bronze":{"weight":1,"slo_ms":50}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = ParseTenantsArg(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tenants["bronze"].SLOMs != 50 {
+		t.Fatalf("file arg: %+v", cfg)
+	}
+
+	// Errors surface from both paths: invalid inline config, missing file.
+	if _, err := ParseTenantsArg(`{"tenants":{"bad":{"weight":-1}}}`); err == nil {
+		t.Error("invalid inline config accepted")
+	}
+	if _, err := ParseTenantsArg(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseTenantMix(t *testing.T) {
+	mix, err := ParseTenantMix(" interactive=3@50, batch=1/synth:cholesky ,bg=0.5@10/onnx:mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []service.TenantShare{
+		{Name: "interactive", Share: 3, SLOMs: 50},
+		{Name: "batch", Share: 1, Workload: "synth:cholesky"},
+		{Name: "bg", Share: 0.5, SLOMs: 10, Workload: "onnx:mlp"},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("parsed %d entries, want %d: %+v", len(mix), len(want), mix)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Errorf("entry %d: %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+
+	if mix, err := ParseTenantMix(""); err != nil || mix != nil {
+		t.Errorf("empty mix: %+v, %v", mix, err)
+	}
+
+	for _, bad := range []string{
+		"noshare",  // not name=share
+		"=3",       // empty name
+		"a=3,a=1",  // duplicate tenant
+		"a=0",      // zero share
+		"a=-1",     // negative share
+		"a=x",      // non-numeric share
+		"a=1@0",    // non-positive slo
+		"a=1@x",    // non-numeric slo
+		"a=1/",     // empty workload override
+		"a=1,,b=2", // empty entry
+	} {
+		if _, err := ParseTenantMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}
 
 func TestParseVariant(t *testing.T) {
 	if v, err := ParseVariant("lts"); err != nil || v != schedule.SBLTS {
@@ -95,7 +178,7 @@ func TestLoadGraphJSONFile(t *testing.T) {
 
 func TestLoadGraphBadInputs(t *testing.T) {
 	cases := []struct {
-		name              string
+		name               string
 		path, synth, model string
 	}{
 		{"none selected", "", "", ""},
