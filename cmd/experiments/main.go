@@ -7,9 +7,10 @@
 //	            [-cache dir] [-report] [-sim-engine leap|reference]
 //	            [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	experiments -merge a.json b.json ...
-//	experiments -serve addr [-lease-timeout d] [-batch N] [-out merged.json] [spec flags]
-//	experiments -agent http://host:port [-worker-id name] [-workers N] [-cache dir]
-//	experiments -status http://host:port
+//	experiments -serve addr [-lease-timeout d] [-batch N] [-state dir]
+//	            [-snapshot-every N] [-token t] [-out merged.json] [spec flags]
+//	experiments -agent http://host:port [-worker-id name] [-workers N] [-cache dir] [-token t]
+//	experiments -status http://host:port [-token t]
 //	experiments -list-variants
 //	experiments -cache dir -cache-stats
 //	experiments -cache dir -cache-gc 168h
@@ -51,7 +52,11 @@
 // the merged artifact (-out) or renders the tables, byte-identical to an
 // unsharded local run. -agent joins a coordinator as a worker, reusing the
 // local worker pool (-workers) and the persistent results cache (-cache).
-// -status prints a coordinator's progress/failure report as JSON.
+// -status prints a coordinator's progress/failure report as JSON. With
+// -state the coordinator journals every state transition to a directory
+// and a killed coordinator restarted with the same flags resumes the run
+// exactly where it crashed (docs/DISTRIBUTED.md, "Failure recovery");
+// -token requires a shared bearer token of every client.
 package main
 
 import (
@@ -91,6 +96,9 @@ func main() {
 	workerID := flag.String("worker-id", "", "worker name reported to the coordinator (default host-pid)")
 	leaseTimeout := flag.Duration("lease-timeout", distrib.DefaultLeaseTimeout, "with -serve: requeue a leased batch not completed within this duration")
 	batch := flag.Int("batch", distrib.DefaultBatchSize, "with -serve: jobs granted per lease")
+	stateDir := flag.String("state", "", "with -serve: journal coordinator state to this directory so a killed coordinator can be restarted with the same flags and resume the run")
+	snapshotEvery := flag.Int("snapshot-every", 0, "with -serve -state: journal records between snapshots (default 256; negative disables snapshots)")
+	token := flag.String("token", "", "shared bearer token: required of every client with -serve, sent with -agent and -status")
 	status := flag.String("status", "", "print the status JSON of the coordinator at this URL, then exit")
 	simEngine := flag.String("sim-engine", "auto", "discrete-event engine for simulate cells: auto (cost-model pick), leap (event-leaping fast path), or reference (unit-stepping oracle); results are byte-identical")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -102,7 +110,7 @@ func main() {
 
 	if err := run(*exp, *graphs, *seed, *quick, *fullModels, *workers, *shard,
 		*out, *cacheDir, *cacheStats, *cacheGC, *merge, *report, *listVariants,
-		*serve, *agent, *workerID, *leaseTimeout, *batch, *status,
+		*serve, *agent, *workerID, *leaseTimeout, *batch, *stateDir, *snapshotEvery, *token, *status,
 		*simEngine, *cpuProfile, *memProfile,
 		explicit, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -113,7 +121,8 @@ func main() {
 func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int,
 	shard, out, cacheDir string, cacheStats bool, cacheGC time.Duration,
 	merge, report, listVariants bool,
-	serve, agent, workerID string, leaseTimeout time.Duration, batch int, status string,
+	serve, agent, workerID string, leaseTimeout time.Duration, batch int,
+	stateDir string, snapshotEvery int, token, status string,
 	simEngine, cpuProfile, memProfile string,
 	explicit map[string]bool, args []string) error {
 
@@ -152,32 +161,37 @@ func run(exp string, graphs int, seed int64, quick, fullModels bool, workers int
 	}
 	if status != "" {
 		for name := range explicit {
-			if name != "status" {
+			switch name {
+			case "status", "token":
+			default:
 				return fmt.Errorf("-%s has no effect with -status", name)
 			}
 		}
-		return runStatus(status)
+		return runStatus(status, token)
 	}
 	if agent != "" {
 		for name := range explicit {
 			switch name {
-			case "agent", "workers", "cache", "worker-id", "cpuprofile", "memprofile":
+			case "agent", "workers", "cache", "worker-id", "token", "cpuprofile", "memprofile":
 			default:
 				return fmt.Errorf("-%s has no effect with -agent (the coordinator defines the run)", name)
 			}
 		}
-		return runAgent(agent, workerID, workers, cacheDir)
+		return runAgent(agent, workerID, workers, cacheDir, token)
 	}
 	if serve != "" {
 		for name := range explicit {
 			switch name {
 			case "serve", "exp", "graphs", "seed", "quick", "full-models",
-				"lease-timeout", "batch", "out":
+				"lease-timeout", "batch", "out", "state", "snapshot-every", "token":
 			default:
 				return fmt.Errorf("-%s has no effect with -serve (workers run in -agent processes)", name)
 			}
 		}
-		return runServe(serve, exp, graphs, seed, quick, fullModels, leaseTimeout, batch, out)
+		return runServe(serve, exp, graphs, seed, quick, fullModels, leaseTimeout, batch, stateDir, snapshotEvery, token, out)
+	}
+	if snapshotEvery != 0 || stateDir != "" {
+		return fmt.Errorf("-state/-snapshot-every only apply to -serve")
 	}
 	if merge {
 		// Merge mode takes its entire configuration from the artifacts'
@@ -449,24 +463,30 @@ func runMerge(files []string) error {
 // distributed-sweep coordinator until every cell job is resolved by -agent
 // workers, then writes the merged artifact (-out) or renders the tables —
 // either way byte-identical to an unsharded local run of the same flags
-// (docs/DISTRIBUTED.md).
+// (docs/DISTRIBUTED.md). With -state the run is crash-safe: the address is
+// bound (and served 503 + Retry-After) before any journal replay, so a
+// restarted coordinator picks up a half-finished run where it left off
+// while its surviving agents retry into the recovery gate.
 func runServe(addr, exp string, graphs int, seed int64, quick, fullModels bool,
-	leaseTimeout time.Duration, batch int, out string) error {
+	leaseTimeout time.Duration, batch int, stateDir string, snapshotEvery int, token, out string) error {
 
 	specs, err := specsFromFlags(exp, graphs, seed, quick, fullModels)
 	if err != nil {
 		return err
 	}
-	coord, err := distrib.NewCoordinator(specs, distrib.CoordinatorOptions{
-		LeaseTimeout: leaseTimeout,
-		BatchSize:    batch,
+	coord, err := distrib.ServeRecovering(addr, os.Stderr, func() (*distrib.Coordinator, error) {
+		return distrib.NewCoordinator(specs, distrib.CoordinatorOptions{
+			LeaseTimeout:  leaseTimeout,
+			BatchSize:     batch,
+			StateDir:      stateDir,
+			SnapshotEvery: snapshotEvery,
+			Token:         token,
+		})
 	})
 	if err != nil {
 		return err
 	}
-	if err := coord.Serve(addr, os.Stderr); err != nil {
-		return err
-	}
+	defer coord.Close()
 
 	art := coord.Artifact()
 	experiments.ReportArtifactFailures(os.Stderr, art.Failures)
@@ -490,8 +510,8 @@ func runServe(addr, exp string, graphs int, seed int64, quick, fullModels bool,
 // runAgent joins a coordinator as a pull-based worker until the run is
 // done. The coordinator defines the experiments; only the local execution
 // knobs (-workers, -cache, -worker-id) apply here.
-func runAgent(url, workerID string, workers int, cacheDir string) error {
-	a := &distrib.Agent{URL: url, Worker: workerID, Workers: workers}
+func runAgent(url, workerID string, workers int, cacheDir, token string) error {
+	a := &distrib.Agent{URL: url, Worker: workerID, Workers: workers, Token: token}
 	if cacheDir != "" {
 		cache, err := results.OpenCache(cacheDir)
 		if err != nil {
@@ -510,8 +530,8 @@ func runAgent(url, workerID string, workers int, cacheDir string) error {
 }
 
 // runStatus fetches and pretty-prints a coordinator's /v1/status report.
-func runStatus(url string) error {
-	st, err := distrib.FetchStatus(context.Background(), nil, url)
+func runStatus(url, token string) error {
+	st, err := distrib.FetchStatus(context.Background(), nil, url, token)
 	if err != nil {
 		return err
 	}

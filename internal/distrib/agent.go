@@ -9,11 +9,15 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/distrib/faultpoint"
 	"repro/internal/experiments"
 	"repro/internal/results"
+	"repro/internal/retry"
 )
 
 // Agent is a pull-based distributed-sweep worker: it fetches the run
@@ -41,6 +45,24 @@ type Agent struct {
 	// ConnectWait bounds how long the agent keeps retrying the initial
 	// run-descriptor fetch while the coordinator comes up; 0 means 30s.
 	ConnectWait time.Duration
+	// Token is sent as `Authorization: Bearer <Token>` on every request
+	// when the coordinator runs with -token.
+	Token string
+	// RequestTimeout bounds each individual HTTP request; 0 means 2m. A
+	// timed-out request counts as a transport failure and is retried —
+	// safely, because every endpoint is idempotent: re-leasing returns
+	// fresh work and re-uploading a completion dedups first-write-wins.
+	RequestTimeout time.Duration
+	// RetryWait bounds how long a mid-session request keeps retrying
+	// (with capped jittered exponential backoff) through transport
+	// failures and 429/502/503/504 answers before giving up; 0 means 2m,
+	// negative disables retries. This is what carries an agent across a
+	// coordinator crash + restart: requests fail or see the recovery
+	// gate's 503 until replay finishes, then succeed.
+	RetryWait time.Duration
+	// RetrySeed seeds the backoff jitter; 0 draws from the clock. Tests
+	// pin it for reproducible schedules.
+	RetrySeed int64
 }
 
 // AgentReport summarizes one agent session.
@@ -146,10 +168,7 @@ func (a *Agent) Run(ctx context.Context) (AgentReport, error) {
 			return a.sessionEnd(rep, start, err)
 		}
 		if lease.Done {
-			rep.Elapsed = time.Since(start)
-			fmt.Fprintf(a.log(), "distrib: agent %s done: %d batches, %d jobs (%d failed, %d cached) in %v\n",
-				worker, rep.Batches, rep.Jobs, rep.Failed, rep.CacheHits, rep.Elapsed.Round(time.Millisecond))
-			return rep, nil
+			return a.sessionDone(rep, start)
 		}
 		if len(lease.Jobs) == 0 {
 			wait := lease.RetryAfter
@@ -189,7 +208,23 @@ func (a *Agent) Run(ctx context.Context) (AgentReport, error) {
 		}
 		fmt.Fprintf(a.log(), "distrib: agent %s batch %d: %d jobs, %d accepted, %d duplicates\n",
 			worker, rep.Batches, runRep.Jobs, ack.Accepted, ack.Duplicates)
+		// The ack says whether this upload resolved the run's last open
+		// job. Exiting on it (rather than polling for another lease)
+		// matters because the coordinator shuts down the moment the run
+		// completes: one more poll would race the shutdown and burn the
+		// refused-dial budget against an address that is gone for good.
+		if ack.Done {
+			return a.sessionDone(rep, start)
+		}
 	}
+}
+
+// sessionDone ends a session whose run completed.
+func (a *Agent) sessionDone(rep AgentReport, start time.Time) (AgentReport, error) {
+	rep.Elapsed = time.Since(start)
+	fmt.Fprintf(a.log(), "distrib: agent %s done: %d batches, %d jobs (%d failed, %d cached) in %v\n",
+		a.worker(), rep.Batches, rep.Jobs, rep.Failed, rep.CacheHits, rep.Elapsed.Round(time.Millisecond))
+	return rep, nil
 }
 
 // sessionEnd classifies a mid-session request error. Protocol rejections
@@ -209,40 +244,48 @@ func (a *Agent) sessionEnd(rep AgentReport, start time.Time, err error) (AgentRe
 
 // fetchRunInfo retries the initial GET /v1/run until the coordinator is
 // reachable, so agents can be started before (or while) the coordinator
-// comes up.
+// comes up. It issues single attempts (not the RetryWait-budgeted call
+// loop) so ConnectWait alone governs how long joining may take, backing
+// off with jitter between attempts. A 503 is retried like a transport
+// failure — that is the recovery gate saying the coordinator is up but
+// still replaying its journal; any other rejection is fatal.
 func (a *Agent) fetchRunInfo(ctx context.Context) (RunInfo, error) {
 	wait := a.ConnectWait
 	if wait <= 0 {
 		wait = 30 * time.Second
 	}
 	deadline := time.Now().Add(wait)
-	retry := newIdleTimer()
-	defer retry.Stop()
+	bo := retry.New(150*time.Millisecond, 2*time.Second, a.RetrySeed)
+	timer := newIdleTimer()
+	defer timer.Stop()
 	var info RunInfo
 	for {
-		err := a.getJSON(ctx, "/v1/run", &info)
+		err := a.doOnce(ctx, http.MethodGet, "/v1/run", nil, &info)
 		if err == nil {
 			return info, nil
 		}
 		var he *httpError
-		if errors.As(err, &he) {
+		if errors.As(err, &he) && !retryableErr(err) {
 			return RunInfo{}, fmt.Errorf("distrib: agent: joining run: %w", err)
+		}
+		if ctx.Err() != nil {
+			return RunInfo{}, ctx.Err()
 		}
 		if time.Now().After(deadline) {
 			return RunInfo{}, fmt.Errorf("distrib: agent: coordinator at %s unreachable after %v: %w", a.URL, wait, err)
 		}
-		if err := sleepCtx(ctx, retry, 300*time.Millisecond); err != nil {
+		d := bo.Next()
+		if ra := retryAfterOf(err); ra > d {
+			d = ra
+		}
+		if err := sleepCtx(ctx, timer, d); err != nil {
 			return RunInfo{}, err
 		}
 	}
 }
 
 func (a *Agent) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(a.URL, "/")+path, nil)
-	if err != nil {
-		return err
-	}
-	return a.do(req, out)
+	return a.call(ctx, http.MethodGet, path, nil, out)
 }
 
 func (a *Agent) postJSON(ctx context.Context, path string, in, out any) error {
@@ -250,12 +293,126 @@ func (a *Agent) postJSON(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(a.URL, "/")+path, bytes.NewReader(body))
+	return a.call(ctx, http.MethodPost, path, body, out)
+}
+
+// call issues one logical request, retrying transient failures —
+// transport errors, per-request timeouts, and 429/502/503/504 answers —
+// with capped jittered exponential backoff for up to RetryWait. A
+// Retry-After the server sent (the recovery gate does, and so does
+// admission control) raises that attempt's wait. Retrying is safe
+// because the protocol is idempotent end to end: a duplicate lease
+// request just leases whatever is pending now, and a duplicate
+// completion dedups first-write-wins — across coordinator restarts too,
+// since completions are journaled before they are acknowledged.
+//
+// Refused dials get the shorter ConnectWait budget: no process is
+// listening at all, which is either the window between a crash and a
+// restart or a coordinator that finished the run and exited for good —
+// and only the first is worth ConnectWait's patience. Failures from a
+// live coordinator (timeouts, the recovery gate's 503s, a broken
+// journal) keep the full RetryWait.
+func (a *Agent) call(ctx context.Context, method, path string, body []byte, out any) error {
+	budget := a.RetryWait
+	if budget == 0 {
+		budget = 2 * time.Minute
+	}
+	refused := a.ConnectWait
+	if refused <= 0 {
+		refused = 30 * time.Second
+	}
+	if refused > budget {
+		refused = budget
+	}
+	bo := retry.New(0, 0, a.RetrySeed)
+	timer := newIdleTimer()
+	defer timer.Stop()
+	start := time.Now()
+	deadline := start.Add(budget)
+	refusedDeadline := start.Add(refused)
+	for {
+		err := a.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !retryableErr(err) {
+			return err
+		}
+		now := time.Now()
+		if budget <= 0 || now.After(deadline) {
+			return err
+		}
+		if errors.Is(err, syscall.ECONNREFUSED) && now.After(refusedDeadline) {
+			return err
+		}
+		wait := bo.Next()
+		if ra := retryAfterOf(err); ra > wait {
+			wait = ra
+		}
+		if serr := sleepCtx(ctx, timer, wait); serr != nil {
+			return serr
+		}
+	}
+}
+
+// doOnce issues a single attempt under the per-request timeout.
+func (a *Agent) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	if err := faultpoint.Hit("distrib.agent.request"); err != nil {
+		return err
+	}
+	if method == http.MethodPost && path == "/v1/complete" {
+		if err := faultpoint.Hit("distrib.agent.upload"); err != nil {
+			return err
+		}
+	}
+	to := a.RequestTimeout
+	if to <= 0 {
+		to = 2 * time.Minute
+	}
+	rctx, cancel := context.WithTimeout(ctx, to)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, strings.TrimSuffix(a.URL, "/")+path, rd)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if a.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+a.Token)
+	}
 	return a.do(req, out)
+}
+
+// retryableErr reports whether an attempt's failure is worth retrying:
+// any transport-level failure (including a per-request timeout), or a
+// response that says "not right now" — 429 from admission control,
+// 502/504 from an intermediary, 503 from the recovery gate or a
+// coordinator whose journal is catching its breath.
+func retryableErr(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		switch he.code {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// retryAfterOf extracts a server-suggested wait, if the error carries one.
+func retryAfterOf(err error) time.Duration {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.retryAfter
+	}
+	return 0
 }
 
 // do issues the request and decodes the JSON response. Non-2xx responses
@@ -269,8 +426,12 @@ func (a *Agent) do(req *http.Request, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return &httpError{code: resp.StatusCode, msg: fmt.Sprintf("%s %s: %s: %s",
+		he := &httpError{code: resp.StatusCode, msg: fmt.Sprintf("%s %s: %s: %s",
 			req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			he.retryAfter = time.Duration(secs) * time.Second
+		}
+		return he
 	}
 	if out == nil {
 		return nil
@@ -279,11 +440,13 @@ func (a *Agent) do(req *http.Request, out any) error {
 }
 
 // FetchStatus retrieves a coordinator's /v1/status report; it backs
-// `cmd/experiments -status`.
-func FetchStatus(ctx context.Context, client *http.Client, url string) (Status, error) {
-	a := &Agent{URL: url, Client: client}
+// `cmd/experiments -status`. token may be empty for an unauthenticated
+// coordinator. One attempt, no retry loop: a status probe should report
+// an unreachable coordinator, not paper over it.
+func FetchStatus(ctx context.Context, client *http.Client, url, token string) (Status, error) {
+	a := &Agent{URL: url, Client: client, Token: token}
 	var st Status
-	if err := a.getJSON(ctx, "/v1/status", &st); err != nil {
+	if err := a.doOnce(ctx, http.MethodGet, "/v1/status", nil, &st); err != nil {
 		return Status{}, fmt.Errorf("distrib: fetching status from %s: %w", url, err)
 	}
 	return st, nil

@@ -3,15 +3,21 @@ package distrib
 import (
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/distrib/faultpoint"
 	"repro/internal/experiments"
 	"repro/internal/results"
 )
@@ -28,6 +34,19 @@ const (
 	// that a dead worker forfeits little work and stragglers rebalance
 	// (see docs/DISTRIBUTED.md on batch sizing).
 	DefaultBatchSize = 16
+	// DefaultSnapshotEvery is how many journal records accumulate before
+	// the coordinator snapshots and truncates the journal. Replay cost
+	// after a crash is bounded by one snapshot interval.
+	DefaultSnapshotEvery = 256
+)
+
+// Request body ceilings for the coordinator's POST endpoints. A lease
+// request is a few fields; a completion carries a whole batch artifact,
+// whose cells are small (a handful of metrics each) even for the
+// largest sane batch.
+const (
+	maxLeaseBody    = 1 << 20  // 1 MiB
+	maxCompleteBody = 64 << 20 // 64 MiB
 )
 
 // CoordinatorOptions configures a coordinator.
@@ -41,6 +60,20 @@ type CoordinatorOptions struct {
 	// Run names the run in status reports and batch provenance; empty
 	// generates a random id.
 	Run string
+	// StateDir, when set, makes the coordinator crash-safe: every state
+	// transition is journaled (and fsync'd) to this directory before it
+	// is applied or acknowledged, and a restarted coordinator replays
+	// the directory back to its exact pre-crash state (recovery.go).
+	// Empty keeps the run purely in memory, as before.
+	StateDir string
+	// SnapshotEvery is how many journal records accumulate before an
+	// atomic snapshot truncates the journal; 0 means
+	// DefaultSnapshotEvery, negative disables snapshots (the journal
+	// grows for the whole run). Meaningless without StateDir.
+	SnapshotEvery int
+	// Token, when set, requires `Authorization: Bearer <Token>` on every
+	// endpoint; requests without it are answered 401.
+	Token string
 
 	// now replaces the wall clock; tests advance it to expire leases
 	// without sleeping.
@@ -74,6 +107,7 @@ type Coordinator struct {
 	leaseTimeout time.Duration
 	batchSize    int
 	now          func() time.Time
+	token        string
 
 	keyIdx   map[results.CellKey]int
 	labelIdx map[string]int
@@ -91,6 +125,13 @@ type Coordinator struct {
 	workers    map[string]*WorkerStatus
 	start      time.Time
 	done       chan struct{}
+
+	// Persistence (nil / zero without a StateDir).
+	wal           *wal
+	snapshotEvery int
+	sinceSnap     int // journal records since the last snapshot
+	checkpoints   int
+	recovery      *RecoveryInfo
 }
 
 // NewCoordinator compiles the specs and sets up the job queue. The specs
@@ -113,25 +154,30 @@ func NewCoordinator(specs []experiments.Spec, opt CoordinatorOptions) (*Coordina
 	if opt.now == nil {
 		opt.now = time.Now
 	}
+	if opt.SnapshotEvery == 0 {
+		opt.SnapshotEvery = DefaultSnapshotEvery
+	}
 	c := &Coordinator{
-		plan:         plan,
-		meta:         experiments.MetaFromSpecs(specs, 0, 1),
-		planHash:     experiments.PlanHash(plan),
-		run:          opt.Run,
-		leaseTimeout: opt.LeaseTimeout,
-		batchSize:    opt.BatchSize,
-		now:          opt.now,
-		keyIdx:       make(map[results.CellKey]int, len(plan.Jobs)),
-		labelIdx:     make(map[string]int, len(plan.Jobs)),
-		state:        make([]jobState, len(plan.Jobs)),
-		owner:        make([]string, len(plan.Jobs)),
-		pending:      make([]int, 0, len(plan.Jobs)),
-		leases:       make(map[string]*lease),
-		cells:        make([]*results.Cell, len(plan.Jobs)),
-		failures:     make([]*results.Failure, len(plan.Jobs)),
-		unresolved:   len(plan.Jobs),
-		workers:      make(map[string]*WorkerStatus),
-		done:         make(chan struct{}),
+		plan:          plan,
+		meta:          experiments.MetaFromSpecs(specs, 0, 1),
+		planHash:      experiments.PlanHash(plan),
+		run:           opt.Run,
+		leaseTimeout:  opt.LeaseTimeout,
+		batchSize:     opt.BatchSize,
+		now:           opt.now,
+		token:         opt.Token,
+		snapshotEvery: opt.SnapshotEvery,
+		keyIdx:        make(map[results.CellKey]int, len(plan.Jobs)),
+		labelIdx:      make(map[string]int, len(plan.Jobs)),
+		state:         make([]jobState, len(plan.Jobs)),
+		owner:         make([]string, len(plan.Jobs)),
+		pending:       make([]int, 0, len(plan.Jobs)),
+		leases:        make(map[string]*lease),
+		cells:         make([]*results.Cell, len(plan.Jobs)),
+		failures:      make([]*results.Failure, len(plan.Jobs)),
+		unresolved:    len(plan.Jobs),
+		workers:       make(map[string]*WorkerStatus),
+		done:          make(chan struct{}),
 	}
 	c.start = c.now()
 	for i, j := range plan.Jobs {
@@ -139,10 +185,34 @@ func NewCoordinator(specs []experiments.Spec, opt CoordinatorOptions) (*Coordina
 		c.keyIdx[j.Key] = i
 		c.labelIdx[j.Job.String()] = i
 	}
-	if len(plan.Jobs) == 0 {
-		close(c.done)
+	if opt.StateDir != "" {
+		if err := c.attachState(opt.StateDir); err != nil {
+			return nil, err
+		}
+	}
+	if c.unresolved == 0 {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
 	}
 	return c, nil
+}
+
+// Close releases the journal file handle, if any. Reads keep working;
+// mutations after Close are refused with 503. Restart-from-state-dir
+// tests use it to hand the directory to a successor coordinator.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return nil
+	}
+	if c.wal.broken == nil {
+		c.wal.broken = errors.New("journal closed")
+	}
+	return c.wal.close()
 }
 
 func randomID() string {
@@ -174,10 +244,12 @@ func (c *Coordinator) Info() RunInfo {
 	}
 }
 
-// httpError carries the status code an HTTP handler should reject with.
+// httpError carries the status code an HTTP handler should reject with
+// (and, on the client side, any Retry-After the server suggested).
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -187,15 +259,99 @@ func rejectf(code int, format string, args ...any) error {
 }
 
 // expireLocked requeues the unresolved jobs of every lease whose deadline
-// has lapsed. Callers hold c.mu.
+// has lapsed, journaling the expiry first when the run is persistent. If
+// the journal refuses the record the leases simply stay open until a
+// later scan — expiry is a clock observation, always safe to defer.
+// Callers hold c.mu.
 func (c *Coordinator) expireLocked(now time.Time) {
-	for id, l := range c.leases {
-		if l.deadline.After(now) {
-			continue
-		}
-		c.releaseLocked(l)
-		delete(c.leases, id)
+	ids := c.sortedExpiredLocked(now)
+	if len(ids) == 0 {
+		return
 	}
+	if c.appendLocked(now, &walRecord{Type: recExpire, Leases: ids}) != nil {
+		return
+	}
+	for _, id := range ids {
+		if l := c.leases[id]; l != nil {
+			c.releaseLocked(l)
+			delete(c.leases, id)
+		}
+	}
+}
+
+// appendLocked stamps and journals records ahead of applying them; a
+// journal failure surfaces as a retryable 503. Without a StateDir it
+// only stamps. Callers hold c.mu and apply the same records afterwards —
+// journal-then-apply is the write-ahead discipline recovery relies on.
+func (c *Coordinator) appendLocked(now time.Time, recs ...*walRecord) error {
+	for _, rec := range recs {
+		rec.Time = now
+	}
+	if c.wal == nil {
+		return nil
+	}
+	if err := c.wal.append(now, recs...); err != nil {
+		return rejectf(http.StatusServiceUnavailable, "coordinator journal unavailable (%v); retry", err)
+	}
+	c.sinceSnap += len(recs)
+	return nil
+}
+
+// walUsableLocked refuses mutations once the journal has latched a
+// write failure: accepting state the journal cannot record would make
+// the next recovery silently wrong. Callers hold c.mu.
+func (c *Coordinator) walUsableLocked() error {
+	if c.wal != nil && c.wal.broken != nil {
+		return rejectf(http.StatusServiceUnavailable,
+			"coordinator journal failed (%v); restart the coordinator to recover", c.wal.broken)
+	}
+	return nil
+}
+
+// maybeCheckpointLocked snapshots once enough journal records have
+// accumulated. Called after applying a mutation — never between journal
+// and apply, or the snapshot would claim a seq it does not reflect.
+// Callers hold c.mu.
+func (c *Coordinator) maybeCheckpointLocked() {
+	if c.wal == nil || c.snapshotEvery <= 0 || c.sinceSnap < c.snapshotEvery {
+		return
+	}
+	// A failed snapshot is not fatal — the journal still has everything —
+	// and the counter resets either way so a persistently failing disk
+	// degrades to journal-only operation instead of retrying every record.
+	c.checkpointLocked()
+}
+
+// checkpointLocked writes an atomic snapshot of the current state and
+// truncates the journal behind it. Callers hold c.mu.
+func (c *Coordinator) checkpointLocked() error {
+	if c.wal == nil {
+		return fmt.Errorf("distrib: coordinator has no state dir to checkpoint to")
+	}
+	st := c.snapshotLocked()
+	c.sinceSnap = 0
+	if err := writeSnapshot(c.wal.dir, st); err != nil {
+		return err
+	}
+	c.checkpoints++
+	return c.wal.rotate(c.now(), &walRecord{
+		Type:         recBegin,
+		Run:          c.run,
+		Meta:         &c.meta,
+		PlanHash:     c.planHash,
+		LeaseTimeout: c.leaseTimeout,
+		BatchSize:    c.batchSize,
+		Start:        c.start,
+		AfterSeq:     st.Seq,
+	})
+}
+
+// Checkpoint forces a snapshot + journal truncation now, outside the
+// SnapshotEvery cadence.
+func (c *Coordinator) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checkpointLocked()
 }
 
 // releaseLocked returns a lease's still-leased jobs to the queue. Callers
@@ -233,14 +389,17 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.walUsableLocked(); err != nil {
+		return LeaseResponse{}, err
+	}
 	c.expireLocked(now)
-	w := c.workerLocked(req.Worker, now)
+	c.workerLocked(req.Worker, now)
 
 	max := req.Max
 	if max <= 0 || max > c.batchSize {
 		max = c.batchSize
 	}
-	// Pop up to max genuinely pending jobs. The queue may hold stale
+	// Select up to max genuinely pending jobs. The queue may hold stale
 	// indices: a late completion of an expired lease resolves jobs that
 	// expiry already requeued, and they stay in the FIFO until discarded
 	// here — re-granting one would double-resolve it and end the run with
@@ -252,27 +411,33 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 			jobs = append(jobs, j)
 		}
 	}
-	c.pending = c.pending[i:]
 	if len(jobs) == 0 {
+		c.pending = c.pending[i:]
 		if c.unresolved == 0 {
 			return LeaseResponse{Done: true}, nil
 		}
 		return LeaseResponse{RetryAfter: c.retryAfterLocked(now)}, nil
 	}
-	c.leaseSeq++
-	l := &lease{
-		id:       fmt.Sprintf("L%d", c.leaseSeq),
-		worker:   req.Worker,
-		jobs:     jobs,
-		deadline: now.Add(c.leaseTimeout),
+	if err := faultpoint.Hit("distrib.lease.grant"); err != nil {
+		return LeaseResponse{}, rejectf(http.StatusServiceUnavailable, "%v; retry", err)
 	}
-	for _, j := range jobs {
-		c.state[j] = jobLeased
-		c.owner[j] = l.id
+	rec := &walRecord{
+		Type:     recLease,
+		Lease:    fmt.Sprintf("L%d", c.leaseSeq+1),
+		Worker:   req.Worker,
+		Jobs:     jobs,
+		Deadline: now.Add(c.leaseTimeout),
 	}
-	c.leases[l.id] = l
-	w.Leases++
-	return LeaseResponse{Lease: l.id, Jobs: jobs, Deadline: l.deadline}, nil
+	// Journal before touching any state: a refused append leaves the
+	// queue exactly as it was, so the agent's retry re-selects the same
+	// work.
+	if err := c.appendLocked(now, rec); err != nil {
+		return LeaseResponse{}, err
+	}
+	c.pending = c.pending[i:]
+	c.applyLeaseLocked(rec)
+	c.maybeCheckpointLocked()
+	return LeaseResponse{Lease: rec.Lease, Jobs: jobs, Deadline: rec.Deadline}, nil
 }
 
 // retryAfterLocked picks a polling interval for a worker that found the
@@ -316,76 +481,54 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.walUsableLocked(); err != nil {
+		return CompleteResponse{}, err
+	}
 	c.expireLocked(now)
-	w := c.workerLocked(req.Worker, now)
+	c.workerLocked(req.Worker, now)
 
-	// Validate every result before applying any.
-	cellIdx := make([]int, len(art.Cells))
-	for i, cell := range art.Cells {
-		idx, ok := c.keyIdx[cell.Key]
-		if !ok {
+	// Validate every result before journaling or applying any.
+	for _, cell := range art.Cells {
+		if _, ok := c.keyIdx[cell.Key]; !ok {
 			return CompleteResponse{}, rejectf(http.StatusBadRequest,
 				"cell %s addresses no job of this run", cell.Key)
 		}
 		if err := results.ValidateCellMetrics(c.meta.Variants, cell); err != nil {
 			return CompleteResponse{}, rejectf(http.StatusBadRequest, "%v", err)
 		}
-		cellIdx[i] = idx
 	}
-	failIdx := make([]int, len(art.Failures))
-	for i, f := range art.Failures {
-		idx, ok := c.labelIdx[f.Label]
-		if !ok {
+	for _, f := range art.Failures {
+		if _, ok := c.labelIdx[f.Label]; !ok {
 			return CompleteResponse{}, rejectf(http.StatusBadRequest,
 				"failure %q addresses no job of this run", f.Label)
 		}
-		failIdx[i] = idx
 	}
 
-	var resp CompleteResponse
-	resolve := func(idx int) bool {
-		if c.state[idx] == jobDone {
-			resp.Duplicates++
-			w.Duplicates++
-			return false
-		}
-		c.state[idx] = jobDone
-		c.owner[idx] = ""
-		c.unresolved--
-		resp.Accepted++
-		return true
+	if err := faultpoint.Hit("distrib.complete.apply"); err != nil {
+		return CompleteResponse{}, rejectf(http.StatusServiceUnavailable, "%v; retry", err)
 	}
-	for i, cell := range art.Cells {
-		if resolve(cellIdx[i]) {
-			stored := cell
-			c.cells[cellIdx[i]] = &stored
-			w.Completed++
-		}
+	// Journal the validated upload verbatim, then apply it. Replay runs
+	// the identical first-write-wins dedup (applyCompleteLocked is the
+	// single implementation), so a batch the coordinator acknowledged
+	// before a crash stays resolved after recovery — and a partial batch's
+	// lease retirement (unresolved jobs straight back to the queue, no
+	// timeout wait) replays with it.
+	rec := &walRecord{
+		Type:     recComplete,
+		Lease:    req.Lease,
+		Worker:   req.Worker,
+		Cells:    art.Cells,
+		Failures: art.Failures,
 	}
-	for i, f := range art.Failures {
-		if resolve(failIdx[i]) {
-			stored := f
-			c.failures[failIdx[i]] = &stored
-			w.Failed++
-		}
+	if err := c.appendLocked(now, rec); err != nil {
+		return CompleteResponse{}, err
 	}
-
-	// Retire the lease. Jobs it covered but the upload did not resolve (a
-	// partial batch) go straight back to the queue rather than waiting out
-	// the timeout.
-	if l := c.leases[req.Lease]; l != nil {
-		c.releaseLocked(l)
-		delete(c.leases, req.Lease)
+	resp, err := c.applyCompleteLocked(rec)
+	if err != nil {
+		// Unreachable: every cell and failure was validated above.
+		return CompleteResponse{}, rejectf(http.StatusInternalServerError, "%v", err)
 	}
-
-	if c.unresolved == 0 {
-		resp.Done = true
-		select {
-		case <-c.done:
-		default:
-			close(c.done)
-		}
-	}
+	c.maybeCheckpointLocked()
 	return resp, nil
 }
 
@@ -397,13 +540,15 @@ func (c *Coordinator) Status() Status {
 	defer c.mu.Unlock()
 	c.expireLocked(now)
 	st := Status{
-		Run:      c.run,
-		Jobs:     len(c.plan.Jobs),
-		Pending:  len(c.pending),
-		Requeues: c.requeues,
-		Done:     c.unresolved == 0,
-		Elapsed:  now.Sub(c.start),
-		Workers:  make(map[string]WorkerStatus, len(c.workers)),
+		Run:         c.run,
+		Jobs:        len(c.plan.Jobs),
+		Pending:     len(c.pending),
+		Requeues:    c.requeues,
+		Done:        c.unresolved == 0,
+		Checkpoints: c.checkpoints,
+		Recovered:   c.recovery != nil && c.recovery.Resumed,
+		Elapsed:     now.Sub(c.start),
+		Workers:     make(map[string]WorkerStatus, len(c.workers)),
 	}
 	for i := range c.state {
 		switch c.state[i] {
@@ -482,7 +627,7 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
-		if err := readJSON(w, r, &req); err != nil {
+		if err := readJSON(w, r, &req, maxLeaseBody); err != nil {
 			return
 		}
 		resp, err := c.Lease(req)
@@ -494,7 +639,7 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req CompleteRequest
-		if err := readJSON(w, r, &req); err != nil {
+		if err := readJSON(w, r, &req, maxCompleteBody); err != nil {
 			return
 		}
 		resp, err := c.Complete(req)
@@ -511,7 +656,37 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		writeJSON(w, c.Status())
 	})
+	if c.token != "" {
+		return requireToken(c.token, mux)
+	}
 	return mux
+}
+
+// requireToken demands `Authorization: Bearer <token>` on every request.
+// Both sides are hashed before comparing so the comparison is constant
+// time even across lengths, and the rejection is a JSON body like every
+// other error a client of this API sees.
+func requireToken(token string, next http.Handler) http.Handler {
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := [32]byte{}
+		auth := r.Header.Get("Authorization")
+		const prefix = "Bearer "
+		ok := strings.HasPrefix(auth, prefix)
+		if ok {
+			got = sha256.Sum256([]byte(auth[len(prefix):]))
+		}
+		if !ok || subtle.ConstantTimeCompare(want[:], got[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="distrib"`)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnauthorized)
+			json.NewEncoder(w).Encode(map[string]string{
+				"error": "missing or invalid bearer token (pass -token)",
+			})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Serve serves the coordinator on addr until every job is resolved, then
@@ -555,14 +730,28 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+func readJSON(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) error {
 	if r.Method != http.MethodPost {
 		err := rejectf(http.StatusMethodNotAllowed, "POST only")
 		httpReject(w, err)
 		return err
 	}
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mt != "application/json" {
+		err := rejectf(http.StatusUnsupportedMediaType,
+			"Content-Type %q: POST bodies must be application/json", r.Header.Get("Content-Type"))
+		httpReject(w, err)
+		return err
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		err = rejectf(http.StatusBadRequest, "bad request body: %v", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			err = rejectf(http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d byte limit for this endpoint", maxBytes)
+		} else {
+			err = rejectf(http.StatusBadRequest, "bad request body: %v", err)
+		}
 		httpReject(w, err)
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -200,7 +201,7 @@ func TestStatusEndpoint(t *testing.T) {
 		t.Fatalf("complete: %v", err)
 	}
 
-	st, err := FetchStatus(context.Background(), nil, srv.URL)
+	st, err := FetchStatus(context.Background(), nil, srv.URL, "")
 	if err != nil {
 		t.Fatalf("FetchStatus: %v", err)
 	}
@@ -255,6 +256,108 @@ func TestAgentShutdownPromptDuringBackoff(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("agent still running 5s after cancelation; backoff ignored the context")
+	}
+}
+
+// A journaled coordinator is SIGKILL'd (abrupt listener + journal close)
+// mid-run while an agent is working; a successor restarts from the state
+// directory on the same address. The agent rides the outage on its retry
+// budget — connect-refused, backoff, resume — and the merged artifact is
+// byte-identical to the local unsharded run.
+func TestAgentRidesCoordinatorRestart(t *testing.T) {
+	specs := testSpecs("pipeline")
+	state := t.TempDir()
+	golden := filepath.Join(t.TempDir(), "seq.json")
+	localArtifact(t, specs, golden)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	opt := CoordinatorOptions{LeaseTimeout: 30 * time.Second, BatchSize: 1, StateDir: state}
+	c1, err := NewCoordinator(specs, opt)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv1 := &http.Server{Handler: c1.Handler()}
+	go srv1.Serve(ln)
+
+	a := &Agent{URL: "http://" + addr, Worker: "rider", Workers: 2, Log: io.Discard,
+		ConnectWait: 30 * time.Second, RequestTimeout: 10 * time.Second,
+		RetryWait: 2 * time.Minute, RetrySeed: 1}
+	agentDone := make(chan error, 1)
+	go func() {
+		_, err := a.Run(context.Background())
+		agentDone <- err
+	}()
+
+	// Let the agent land a couple of batches, then yank the coordinator
+	// out from under it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := c1.Status()
+		if st.Completed >= 2 || st.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent made no progress before the kill window: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv1.Close()
+	c1.Close()
+
+	// Restart from the journal on the same address. The port may linger
+	// briefly after the abrupt close, so re-binding retries.
+	c2, err := NewCoordinator(specs, opt)
+	if err != nil {
+		t.Fatalf("restarting coordinator from %s: %v", state, err)
+	}
+	if ri := c2.Recovery(); ri == nil || !ri.Resumed {
+		t.Fatalf("restarted coordinator did not resume: %+v", c2.Recovery())
+	}
+	var ln2 net.Listener
+	for i := 0; ; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i >= 200 {
+			t.Fatalf("re-binding %s after restart: %v", addr, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	srv2 := &http.Server{Handler: c2.Handler()}
+	defer srv2.Close()
+	go srv2.Serve(ln2)
+
+	if err := <-agentDone; err != nil {
+		t.Fatalf("agent across the restart: %v", err)
+	}
+	select {
+	case <-c2.Done():
+	default:
+		t.Fatal("agent returned but the resumed run is not done")
+	}
+	if st := c2.Status(); !st.Recovered {
+		t.Fatal("resumed coordinator's status does not report recovery")
+	}
+
+	dist := filepath.Join(t.TempDir(), "dist.json")
+	if err := c2.Artifact().WriteFile(dist); err != nil {
+		t.Fatalf("writing merged artifact: %v", err)
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("artifact after the restart differs from the local unsharded run\nlocal:    %d bytes\nrestarted: %d bytes", len(want), len(got))
 	}
 }
 

@@ -1,0 +1,187 @@
+// Package faultpoint provides named fault-injection sites for chaos and
+// crash testing. Production code marks the moments where a fault matters
+// — just before a journal write, between a write and its fsync, before an
+// HTTP upload — with faultpoint.Hit("site.name"); a disarmed site costs
+// one atomic load and nothing else, so the calls stay in release builds.
+//
+// Sites are armed programmatically (Set, from tests) or from the
+// FAULTPOINTS environment variable (from chaos harnesses):
+//
+//	FAULTPOINTS=distrib.wal.sync:crash:25
+//
+// arms the site to pass through 25 hits and then terminate the process
+// on the 26th — the moral equivalent of a SIGKILL between a journal
+// write and its fsync. The spec grammar is
+//
+//	site:action[:skip][,site:action[:skip]...]
+//
+// where action is "error" (Hit returns ErrInjected once, then the site
+// goes inert) or "crash" (Hit exits the process with code 137, the code
+// a SIGKILLed process reports). Malformed specs panic at init: a typo'd
+// chaos run must fail loudly, not run clean by accident.
+//
+// Hit counters keep counting after a site fires, so tests can assert a
+// site was traversed without firing it (arm with a large skip).
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error a site armed with ActError returns from Hit.
+// Callers that need to branch on injection use errors.Is.
+var ErrInjected = errors.New("faultpoint: injected fault")
+
+// Action selects what an armed site does when it fires.
+type Action int
+
+const (
+	// ActError makes Hit return ErrInjected once; the site then goes
+	// inert (still counting hits) until re-armed.
+	ActError Action = iota
+	// ActCrash terminates the process immediately with exit code 137 —
+	// no deferred functions, no flushes, exactly like a kill -9.
+	ActCrash
+)
+
+type site struct {
+	action Action
+	skip   int // hits to pass through before firing
+	fired  bool
+	hits   int
+}
+
+var (
+	armed atomic.Bool // fast path: false while no site is armed
+	mu    sync.Mutex
+	sites = map[string]*site{}
+)
+
+func init() {
+	if spec := os.Getenv("FAULTPOINTS"); spec != "" {
+		if err := Arm(spec); err != nil {
+			panic(fmt.Sprintf("faultpoint: bad FAULTPOINTS env: %v", err))
+		}
+	}
+}
+
+// Hit marks one traversal of the named site. It returns nil unless the
+// site is armed with ActError and due to fire; an ActCrash site does not
+// return at all. When nothing is armed anywhere the cost is one atomic
+// load.
+func Hit(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	s := sites[name]
+	if s == nil {
+		mu.Unlock()
+		return nil
+	}
+	s.hits++
+	if s.fired {
+		mu.Unlock()
+		return nil
+	}
+	if s.skip > 0 {
+		s.skip--
+		mu.Unlock()
+		return nil
+	}
+	s.fired = true
+	act := s.action
+	mu.Unlock()
+	if act == ActCrash {
+		fmt.Fprintf(os.Stderr, "faultpoint: crashing at %s\n", name)
+		os.Exit(137)
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, name)
+}
+
+// Set arms one site: pass through skip hits, then fire act.
+func Set(name string, act Action, skip int) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[name] = &site{action: act, skip: skip}
+	armed.Store(true)
+}
+
+// Hits reports how many times the named site has been traversed since it
+// was armed (including traversals after it fired). Zero for unarmed
+// sites: disarmed traversal is deliberately not counted, so the
+// zero-cost contract holds.
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.hits
+	}
+	return 0
+}
+
+// Fired reports whether the named site has fired.
+func Fired(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	s := sites[name]
+	return s != nil && s.fired
+}
+
+// Clear disarms one site.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, name)
+	if len(sites) == 0 {
+		armed.Store(false)
+	}
+}
+
+// Reset disarms every site. Tests defer it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = map[string]*site{}
+	armed.Store(false)
+}
+
+// Arm parses a spec ("site:action[:skip],...") and arms every site in
+// it. It is what the FAULTPOINTS environment variable feeds.
+func Arm(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return fmt.Errorf("bad faultpoint %q (want site:action[:skip])", part)
+		}
+		var act Action
+		switch fields[1] {
+		case "error":
+			act = ActError
+		case "crash":
+			act = ActCrash
+		default:
+			return fmt.Errorf("bad faultpoint action %q in %q (want error or crash)", fields[1], part)
+		}
+		skip := 0
+		if len(fields) == 3 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad faultpoint skip %q in %q (want a non-negative integer)", fields[2], part)
+			}
+			skip = n
+		}
+		Set(fields[0], act, skip)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+// An unarmed site costs nothing and fires nothing: Hit returns nil and
+// the traversal is not even counted.
+func TestUnarmedSiteIsInert(t *testing.T) {
+	defer Reset()
+	if err := Hit("nowhere"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+	if n := Hits("nowhere"); n != 0 {
+		t.Fatalf("unarmed site counted %d hits, want 0", n)
+	}
+}
+
+// An error site fires exactly once, then goes inert while still counting
+// traversals — the contract crash tests rely on to assert a site was
+// crossed without re-firing it.
+func TestErrorSiteFiresOnceThenCounts(t *testing.T) {
+	defer Reset()
+	Set("a.b", ActError, 0)
+	err := Hit("a.b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Hit returned %v, want ErrInjected", err)
+	}
+	if !Fired("a.b") {
+		t.Fatal("site did not report fired")
+	}
+	for i := 0; i < 3; i++ {
+		if err := Hit("a.b"); err != nil {
+			t.Fatalf("post-fire Hit %d returned %v, want nil", i, err)
+		}
+	}
+	if n := Hits("a.b"); n != 4 {
+		t.Fatalf("site counted %d hits, want 4 (1 fired + 3 inert)", n)
+	}
+}
+
+// Skip passes through the first N traversals before firing.
+func TestSkipCountdown(t *testing.T) {
+	defer Reset()
+	Set("a.b", ActError, 2)
+	for i := 0; i < 2; i++ {
+		if err := Hit("a.b"); err != nil {
+			t.Fatalf("skipped Hit %d returned %v", i, err)
+		}
+		if Fired("a.b") {
+			t.Fatalf("site fired during skip window at hit %d", i)
+		}
+	}
+	if err := Hit("a.b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third Hit returned %v, want ErrInjected", err)
+	}
+}
+
+// Clear disarms one site; Reset disarms everything (restoring the
+// zero-cost fast path).
+func TestClearAndReset(t *testing.T) {
+	defer Reset()
+	Set("x", ActError, 0)
+	Set("y", ActError, 0)
+	Clear("x")
+	if err := Hit("x"); err != nil {
+		t.Fatalf("cleared site still fires: %v", err)
+	}
+	if err := Hit("y"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sibling site was disarmed by Clear: %v", err)
+	}
+	Reset()
+	if err := Hit("y"); err != nil {
+		t.Fatalf("site survived Reset: %v", err)
+	}
+}
+
+// Arm parses the FAULTPOINTS grammar and refuses anything malformed —
+// a typo'd chaos run must fail loudly, not run clean by accident.
+func TestArmSpecParsing(t *testing.T) {
+	defer Reset()
+	if err := Arm("s.one:error, s.two:crash:25"); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := Hit("s.one"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("s.one armed via spec did not fire: %v", err)
+	}
+	// s.two is a crash site with 25 skips: traversing it a few times must
+	// neither crash nor error, only count.
+	for i := 0; i < 3; i++ {
+		if err := Hit("s.two"); err != nil {
+			t.Fatalf("crash site within its skip window returned %v", err)
+		}
+	}
+	if n := Hits("s.two"); n != 3 {
+		t.Fatalf("s.two counted %d hits, want 3", n)
+	}
+
+	for _, bad := range []string{
+		"justasite",
+		"s:explode",
+		"s:error:many",
+		"s:error:-1",
+		"s:error:1:extra",
+	} {
+		if err := Arm(bad); err == nil {
+			t.Fatalf("malformed spec %q accepted", bad)
+		}
+	}
+}

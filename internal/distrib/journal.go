@@ -1,0 +1,429 @@
+package distrib
+
+// journal.go is the coordinator's write-ahead persistence layer: an
+// append-only journal of state transitions (run admission, lease grant,
+// lease expiry, batch completion) plus a periodic atomic snapshot that
+// lets the journal be truncated. Every record is framed with a length
+// and a CRC32 and fsync'd before the transition it describes is applied
+// in memory or acknowledged to a client, so a coordinator killed at any
+// instant can replay the journal back to its exact pre-crash state
+// (recovery.go). A torn tail — the half-written frame a crash mid-append
+// leaves behind — is detected by the framing and dropped, never
+// misread; dropping it is safe because an unacknowledged transition is
+// one the agents will simply retry or recompute, and jobs are
+// deterministic.
+//
+// On-disk layout of a `-state` directory:
+//
+//	wal.log        framed walRecords, strictly increasing seq
+//	snapshot.json  {v, crc, state}: the full queue state at one seq
+//
+// Frame format: uint32 LE payload length, uint32 LE CRC32 (IEEE) of the
+// payload, then the payload — one JSON-encoded walRecord. After a
+// snapshot at seq S the journal is rotated: a fresh wal.log holding only
+// a begin record with AfterSeq=S atomically replaces the old one, so
+// the journal never grows beyond one snapshot interval.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/distrib/faultpoint"
+	"repro/internal/results"
+)
+
+const (
+	walVersion       = 1
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.json"
+	// maxRecordBytes bounds a frame's declared payload length; anything
+	// larger is garbage (a torn or overwritten header), not a record.
+	maxRecordBytes = 256 << 20
+)
+
+// Record types. A begin record opens a journal file: the first one of a
+// run carries AfterSeq 0, a rotation's carries the seq of the snapshot
+// it truncated behind.
+const (
+	recBegin    = "begin"
+	recLease    = "lease"
+	recExpire   = "expire"
+	recComplete = "complete"
+)
+
+// walRecord is one journaled state transition. One struct covers every
+// record type; unused fields stay empty on the wire.
+type walRecord struct {
+	V    int       `json:"v"`
+	Seq  uint64    `json:"seq"`
+	Type string    `json:"type"`
+	Time time.Time `json:"time"`
+
+	// begin: the run's identity and configuration, enough to refuse a
+	// state dir that belongs to a different run and to resume this one.
+	Run          string        `json:"run,omitempty"`
+	Meta         *results.Meta `json:"meta,omitempty"`
+	PlanHash     string        `json:"plan_hash,omitempty"`
+	LeaseTimeout time.Duration `json:"lease_timeout,omitempty"`
+	BatchSize    int           `json:"batch_size,omitempty"`
+	Start        time.Time     `json:"start"`
+	AfterSeq     uint64        `json:"after_seq,omitempty"`
+
+	// lease and complete.
+	Lease  string `json:"lease,omitempty"`
+	Worker string `json:"worker,omitempty"`
+
+	// lease: the granted jobs and the absolute deadline. Replaying the
+	// absolute time (not a duration) is what resumes an open lease's
+	// timeout clock instead of restarting it.
+	Jobs     []int     `json:"jobs,omitempty"`
+	Deadline time.Time `json:"deadline"`
+
+	// expire: the lapsed lease ids, sorted so replay releases them in a
+	// deterministic order.
+	Leases []string `json:"leases,omitempty"`
+
+	// complete: the uploaded batch verbatim (after validation). Replay
+	// re-runs the same first-write-wins dedup the live path ran.
+	Cells    []results.Cell    `json:"cells,omitempty"`
+	Failures []results.Failure `json:"failures,omitempty"`
+}
+
+// wal is an open journal file. The coordinator's mutex serializes all
+// access.
+type wal struct {
+	dir  string
+	path string
+	f    *os.File
+	seq  uint64
+	// broken latches the first write- or sync-stage failure. Once bytes
+	// may have landed without their fsync, appending more would place
+	// valid frames after a possibly torn region and make the tear look
+	// like the end of the journal — so every later append is refused and
+	// the coordinator serves 503 until restarted.
+	broken error
+}
+
+func openWAL(dir string, seq uint64) (*wal, error) {
+	path := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: opening journal: %w", err)
+	}
+	return &wal{dir: dir, path: path, f: f, seq: seq}, nil
+}
+
+func encodeFrame(rec *walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: encoding journal record: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// append journals the records — assigning seqs and stamping now — and
+// fsyncs before returning. An error before any byte is written (the
+// distrib.wal.append faultpoint, an encode failure) leaves the journal
+// usable and the request retryable; an error at or after the write
+// latches broken.
+func (w *wal) append(now time.Time, recs ...*walRecord) error {
+	if w.broken != nil {
+		return fmt.Errorf("journal unusable after earlier write failure: %w", w.broken)
+	}
+	if err := faultpoint.Hit("distrib.wal.append"); err != nil {
+		return err
+	}
+	var buf []byte
+	seq := w.seq
+	for _, rec := range recs {
+		seq++
+		rec.V = walVersion
+		rec.Seq = seq
+		rec.Time = now
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame...)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		w.broken = err
+		return fmt.Errorf("journal write: %w", err)
+	}
+	if err := faultpoint.Hit("distrib.wal.sync"); err != nil {
+		w.broken = err
+		return fmt.Errorf("journal sync: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = err
+		return fmt.Errorf("journal sync: %w", err)
+	}
+	w.seq = seq
+	return nil
+}
+
+// rotate atomically replaces the journal with a fresh one holding only
+// the given begin record (whose AfterSeq names the snapshot that
+// superseded the old records). A failure before the rename leaves the
+// old journal untouched; a failure after it latches broken.
+func (w *wal) rotate(now time.Time, begin *walRecord) error {
+	if w.broken != nil {
+		return fmt.Errorf("journal unusable after earlier write failure: %w", w.broken)
+	}
+	begin.V = walVersion
+	begin.Seq = w.seq + 1
+	begin.Time = now
+	frame, err := encodeFrame(begin)
+	if err != nil {
+		return err
+	}
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("distrib: rotating journal: %w", err)
+	}
+	if _, err := f.Write(frame); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("distrib: rotating journal: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("distrib: rotating journal: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		w.broken = err
+		return fmt.Errorf("distrib: rotating journal: %w", err)
+	}
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.broken = err
+		return fmt.Errorf("distrib: reopening rotated journal: %w", err)
+	}
+	w.f.Close()
+	w.f = nf
+	w.seq = begin.Seq
+	return nil
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// walScan is the result of reading a journal file from disk.
+type walScan struct {
+	records   []*walRecord
+	goodBytes int64  // prefix length holding intact records
+	dropped   int64  // bytes past goodBytes (the torn tail)
+	torn      string // why the tail was dropped; empty if the file was clean
+}
+
+// readWAL reads every intact record from the journal. It stops — and
+// reports why — at the first frame that cannot be a record written by
+// this code: a short header, an implausible length, a CRC mismatch,
+// unparseable JSON, or a sequence gap. Everything before that point is
+// trusted (each frame's CRC vouches for it); everything after is the
+// torn tail a crash mid-append leaves, and recovery truncates it. A
+// record that parses but carries a foreign version is a hard error, not
+// a tear: the file belongs to a different build and must not be guessed
+// at.
+func readWAL(path string) (*walScan, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distrib: reading journal: %w", err)
+	}
+	scan := &walScan{}
+	var off int64
+	var prevSeq uint64
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break
+		}
+		if len(rest) < 8 {
+			scan.torn = "truncated frame header"
+			break
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		if length == 0 || length > maxRecordBytes {
+			scan.torn = fmt.Sprintf("implausible record length %d", length)
+			break
+		}
+		if len(rest) < int(8+length) {
+			scan.torn = "truncated record payload"
+			break
+		}
+		payload := rest[8 : 8+length]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			scan.torn = "record checksum mismatch"
+			break
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			scan.torn = fmt.Sprintf("unparseable record: %v", err)
+			break
+		}
+		if rec.V != walVersion {
+			return nil, fmt.Errorf("distrib: journal %s speaks format version %d, this build speaks %d", path, rec.V, walVersion)
+		}
+		if rec.Seq == 0 || (prevSeq != 0 && rec.Seq != prevSeq+1) {
+			scan.torn = fmt.Sprintf("sequence gap: record %d after %d", rec.Seq, prevSeq)
+			break
+		}
+		prevSeq = rec.Seq
+		scan.records = append(scan.records, &rec)
+		off += int64(8 + length)
+	}
+	scan.goodBytes = off
+	scan.dropped = int64(len(data)) - off
+	return scan, nil
+}
+
+// snapLease is one outstanding lease in a snapshot.
+type snapLease struct {
+	ID       string    `json:"id"`
+	Worker   string    `json:"worker"`
+	Jobs     []int     `json:"jobs"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// snapState is the coordinator's full mutable state at one journal seq.
+// The pending FIFO is deliberately absent: recovery rebuilds it as the
+// still-pending jobs in index order, which changes only which agent
+// computes what — never the merged artifact, which is ordered by job
+// index and built from deterministic cells.
+type snapState struct {
+	Seq          uint64                   `json:"seq"`
+	Run          string                   `json:"run"`
+	PlanHash     string                   `json:"plan_hash"`
+	LeaseTimeout time.Duration            `json:"lease_timeout"`
+	BatchSize    int                      `json:"batch_size"`
+	Start        time.Time                `json:"start"`
+	LeaseSeq     int                      `json:"lease_seq"`
+	Requeues     int                      `json:"requeues"`
+	State        []jobState               `json:"state"`
+	Owner        []string                 `json:"owner"`
+	Leases       []snapLease              `json:"leases"`
+	Workers      map[string]*WorkerStatus `json:"workers"`
+	Cells        []*results.Cell          `json:"cells"`
+	Failures     []*results.Failure       `json:"failures"`
+}
+
+// snapshotFile wraps the state with a version and a CRC over the raw
+// state bytes, so a partially written or bit-rotted snapshot is
+// detected rather than loaded.
+type snapshotFile struct {
+	V     int             `json:"v"`
+	CRC   uint32          `json:"crc"`
+	State json.RawMessage `json:"state"`
+}
+
+// errCorruptSnapshot marks a snapshot that exists but cannot be
+// trusted. Recovery falls back to the journal when the journal still
+// holds the full history, and refuses to start when it does not.
+var errCorruptSnapshot = errors.New("corrupt snapshot")
+
+// writeSnapshot atomically replaces the snapshot: write to a temp file,
+// fsync it, rename over the real name, fsync the directory. A crash at
+// any point leaves either the old snapshot or the new one, never a mix.
+func writeSnapshot(dir string, st *snapState) error {
+	if err := faultpoint.Hit("distrib.snapshot.write"); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("distrib: encoding snapshot: %w", err)
+	}
+	body, err := json.Marshal(&snapshotFile{V: walVersion, CRC: crc32.ChecksumIEEE(raw), State: raw})
+	if err != nil {
+		return fmt.Errorf("distrib: encoding snapshot: %w", err)
+	}
+	path := filepath.Join(dir, snapshotFileName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("distrib: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(body); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("distrib: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("distrib: writing snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("distrib: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads and verifies the snapshot; (nil, nil) when none
+// exists. Corruption — unparseable wrapper, wrong version, CRC or state
+// decode failure — returns an error wrapping errCorruptSnapshot.
+func readSnapshot(dir string) (*snapState, error) {
+	path := filepath.Join(dir, snapshotFileName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distrib: reading snapshot: %w", err)
+	}
+	var file snapshotFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("distrib: %w: unparseable wrapper: %v", errCorruptSnapshot, err)
+	}
+	if file.V != walVersion {
+		return nil, fmt.Errorf("distrib: %w: format version %d, this build speaks %d", errCorruptSnapshot, file.V, walVersion)
+	}
+	if crc32.ChecksumIEEE(file.State) != file.CRC {
+		return nil, fmt.Errorf("distrib: %w: state checksum mismatch", errCorruptSnapshot)
+	}
+	var st snapState
+	if err := json.Unmarshal(file.State, &st); err != nil {
+		return nil, fmt.Errorf("distrib: %w: unparseable state: %v", errCorruptSnapshot, err)
+	}
+	return &st, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

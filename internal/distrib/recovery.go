@@ -1,0 +1,478 @@
+package distrib
+
+// recovery.go rebuilds a coordinator from a `-state` directory written
+// by journal.go. Recovery loads the newest snapshot (if any), replays
+// every journal record past it, truncates a torn tail, and reopens the
+// journal for appending — after which the coordinator is
+// indistinguishable from one that never died: open leases keep their
+// original absolute deadlines, resolved jobs stay resolved, and agent
+// re-uploads of batches completed before the crash dedup exactly as a
+// live duplicate would. ServeRecovering wraps the whole sequence behind
+// a Gate that answers 503 + Retry-After until replay finishes, so
+// agents see a clean "come back shortly" instead of half-answers.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/results"
+)
+
+// RecoveryInfo describes what attaching a state directory found.
+type RecoveryInfo struct {
+	// Resumed reports that the directory held a prior run's state (as
+	// opposed to being empty, starting a fresh journal).
+	Resumed bool `json:"resumed"`
+	// Snapshot reports that a snapshot was loaded, at SnapshotSeq.
+	Snapshot    bool   `json:"snapshot,omitempty"`
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	// Records counts journal records replayed on top of the snapshot.
+	Records int `json:"records,omitempty"`
+	// DroppedBytes and TornReason describe a torn journal tail that was
+	// detected and truncated. Zero / empty for a clean journal.
+	DroppedBytes int64  `json:"dropped_bytes,omitempty"`
+	TornReason   string `json:"torn_reason,omitempty"`
+	// SnapshotLost reports that a snapshot existed but was corrupt, and
+	// the run was rebuilt from the journal's full history instead.
+	SnapshotLost bool `json:"snapshot_lost,omitempty"`
+}
+
+func (ri *RecoveryInfo) String() string {
+	if !ri.Resumed {
+		return "fresh state dir"
+	}
+	s := fmt.Sprintf("resumed: %d records replayed", ri.Records)
+	if ri.Snapshot {
+		s += fmt.Sprintf(" on snapshot seq %d", ri.SnapshotSeq)
+	}
+	if ri.SnapshotLost {
+		s += ", corrupt snapshot discarded"
+	}
+	if ri.DroppedBytes > 0 {
+		s += fmt.Sprintf(", torn tail dropped (%d bytes: %s)", ri.DroppedBytes, ri.TornReason)
+	}
+	return s
+}
+
+// Recovery returns what attaching the state directory found, or nil
+// when the coordinator runs without one.
+func (c *Coordinator) Recovery() *RecoveryInfo { return c.recovery }
+
+// attachState wires the coordinator to a state directory: recover any
+// prior state, then open the journal for appending. Called from
+// NewCoordinator with c not yet shared, so no locking.
+func (c *Coordinator) attachState(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("distrib: creating state dir: %w", err)
+	}
+	walPath := dir + string(os.PathSeparator) + walFileName
+	scan, err := readWAL(walPath)
+	if err != nil {
+		return err
+	}
+	snap, snapErr := readSnapshot(dir)
+	if snapErr != nil && !errors.Is(snapErr, errCorruptSnapshot) {
+		return snapErr
+	}
+	info := &RecoveryInfo{}
+	c.recovery = info
+
+	if scan == nil || len(scan.records) == 0 {
+		// No usable journal. A snapshot (even a corrupt one) without a
+		// journal is not a fresh directory — refuse rather than silently
+		// restart the run from nothing.
+		if snap != nil || snapErr != nil {
+			return fmt.Errorf("distrib: state dir %s has a snapshot but no journal; refusing to guess at the run's state", dir)
+		}
+		if scan != nil && scan.dropped > 0 {
+			// The whole file is a torn first record: only an admission
+			// that was never acknowledged can be lost, so start fresh.
+			info.DroppedBytes = scan.dropped
+			info.TornReason = scan.torn
+			if err := os.Truncate(walPath, 0); err != nil {
+				return fmt.Errorf("distrib: truncating torn journal: %w", err)
+			}
+		}
+		w, err := openWAL(dir, 0)
+		if err != nil {
+			return err
+		}
+		begin := &walRecord{
+			Type:         recBegin,
+			Run:          c.run,
+			Meta:         &c.meta,
+			PlanHash:     c.planHash,
+			LeaseTimeout: c.leaseTimeout,
+			BatchSize:    c.batchSize,
+			Start:        c.start,
+		}
+		if err := w.append(c.now(), begin); err != nil {
+			w.close()
+			return fmt.Errorf("distrib: writing run admission record: %w", err)
+		}
+		c.wal = w
+		return nil
+	}
+
+	// A prior run's journal. Verify it is OUR run before adopting it.
+	first := scan.records[0]
+	if first.Type != recBegin {
+		return fmt.Errorf("distrib: journal %s does not start with a run record", walPath)
+	}
+	if first.PlanHash != c.planHash {
+		return fmt.Errorf("distrib: state dir %s belongs to run %s with plan hash %s, this coordinator compiled %s: same flags and code version required to resume",
+			dir, first.Run, first.PlanHash, c.planHash)
+	}
+	if snapErr != nil {
+		// Corrupt snapshot. Recoverable only if the journal still holds
+		// the run's full history.
+		if first.AfterSeq != 0 {
+			return fmt.Errorf("distrib: snapshot is unreadable (%v) and the journal was truncated past seq %d; cannot resume without silently losing state", snapErr, first.AfterSeq)
+		}
+		info.SnapshotLost = true
+		snap = nil
+	}
+	if snap != nil {
+		if snap.PlanHash != c.planHash {
+			return fmt.Errorf("distrib: snapshot in %s carries plan hash %s, this coordinator compiled %s", dir, snap.PlanHash, c.planHash)
+		}
+		if len(snap.State) != len(c.plan.Jobs) {
+			return fmt.Errorf("distrib: snapshot in %s covers %d jobs, this plan has %d", dir, len(snap.State), len(c.plan.Jobs))
+		}
+		if first.AfterSeq > snap.Seq {
+			return fmt.Errorf("distrib: journal was truncated past seq %d but the snapshot stops at seq %d; records in between are lost", first.AfterSeq, snap.Seq)
+		}
+	} else if first.AfterSeq != 0 {
+		return fmt.Errorf("distrib: journal was truncated past seq %d but no snapshot exists; records before it are lost", first.AfterSeq)
+	}
+
+	info.Resumed = true
+	var baseSeq uint64
+	if snap != nil {
+		c.loadSnapshot(snap)
+		info.Snapshot = true
+		info.SnapshotSeq = snap.Seq
+		baseSeq = snap.Seq
+	}
+	for _, rec := range scan.records {
+		if rec.Seq <= baseSeq {
+			continue
+		}
+		if err := c.applyRecord(rec); err != nil {
+			return err
+		}
+		info.Records++
+	}
+	if scan.dropped > 0 {
+		info.DroppedBytes = scan.dropped
+		info.TornReason = scan.torn
+		if err := os.Truncate(walPath, scan.goodBytes); err != nil {
+			return fmt.Errorf("distrib: truncating torn journal tail: %w", err)
+		}
+	}
+
+	// Rebuild the pending FIFO as the still-open jobs in index order
+	// (replay does not track the live queue's pop/requeue interleaving;
+	// see snapState). Grant order may differ from the unkilled run's —
+	// the artifact, ordered by job index over deterministic cells,
+	// cannot.
+	c.pending = c.pending[:0]
+	for i := range c.state {
+		if c.state[i] == jobPending {
+			c.pending = append(c.pending, i)
+		}
+	}
+	if c.unresolved == 0 {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+
+	w, err := openWAL(dir, scan.records[len(scan.records)-1].Seq)
+	if err != nil {
+		return err
+	}
+	c.wal = w
+	return nil
+}
+
+// loadSnapshot installs a verified snapshot as the coordinator's state.
+func (c *Coordinator) loadSnapshot(snap *snapState) {
+	c.run = snap.Run
+	if snap.LeaseTimeout > 0 {
+		c.leaseTimeout = snap.LeaseTimeout
+	}
+	if snap.BatchSize > 0 {
+		c.batchSize = snap.BatchSize
+	}
+	c.start = snap.Start
+	c.leaseSeq = snap.LeaseSeq
+	c.requeues = snap.Requeues
+	copy(c.state, snap.State)
+	copy(c.owner, snap.Owner)
+	for _, sl := range snap.Leases {
+		c.leases[sl.ID] = &lease{id: sl.ID, worker: sl.Worker, jobs: sl.Jobs, deadline: sl.Deadline}
+	}
+	if snap.Workers != nil {
+		c.workers = snap.Workers
+	}
+	copy(c.cells, snap.Cells)
+	copy(c.failures, snap.Failures)
+	c.unresolved = 0
+	for _, s := range c.state {
+		if s != jobDone {
+			c.unresolved++
+		}
+	}
+}
+
+// snapshotLocked captures the coordinator's state at the journal's
+// current seq. Callers hold c.mu.
+func (c *Coordinator) snapshotLocked() *snapState {
+	st := &snapState{
+		Seq:          c.wal.seq,
+		Run:          c.run,
+		PlanHash:     c.planHash,
+		LeaseTimeout: c.leaseTimeout,
+		BatchSize:    c.batchSize,
+		Start:        c.start,
+		LeaseSeq:     c.leaseSeq,
+		Requeues:     c.requeues,
+		State:        append([]jobState(nil), c.state...),
+		Owner:        append([]string(nil), c.owner...),
+		Leases:       make([]snapLease, 0, len(c.leases)),
+		Workers:      make(map[string]*WorkerStatus, len(c.workers)),
+		Cells:        append([]*results.Cell(nil), c.cells...),
+		Failures:     append([]*results.Failure(nil), c.failures...),
+	}
+	ids := make([]string, 0, len(c.leases))
+	for id := range c.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		l := c.leases[id]
+		st.Leases = append(st.Leases, snapLease{ID: l.id, Worker: l.worker, Jobs: l.jobs, Deadline: l.deadline})
+	}
+	for name, w := range c.workers {
+		cp := *w
+		st.Workers[name] = &cp
+	}
+	return st
+}
+
+// applyRecord replays one journal record. Called during recovery with
+// c not yet shared, so no locking.
+func (c *Coordinator) applyRecord(rec *walRecord) error {
+	switch rec.Type {
+	case recBegin:
+		// Adopt the journaled run identity and configuration — the
+		// journal, not this process's flags, says what the run is.
+		c.run = rec.Run
+		if rec.LeaseTimeout > 0 {
+			c.leaseTimeout = rec.LeaseTimeout
+		}
+		if rec.BatchSize > 0 {
+			c.batchSize = rec.BatchSize
+		}
+		if !rec.Start.IsZero() {
+			c.start = rec.Start
+		}
+		return nil
+	case recLease:
+		c.applyLeaseLocked(rec)
+		return nil
+	case recExpire:
+		for _, id := range rec.Leases {
+			if l := c.leases[id]; l != nil {
+				c.releaseLocked(l)
+				delete(c.leases, id)
+			}
+		}
+		return nil
+	case recComplete:
+		_, err := c.applyCompleteLocked(rec)
+		return err
+	default:
+		return fmt.Errorf("distrib: journal record %d has unknown type %q", rec.Seq, rec.Type)
+	}
+}
+
+// applyLeaseLocked installs a granted lease: the journaled transition
+// shared by the live Lease path and replay. Callers hold c.mu (or own
+// the coordinator exclusively during recovery).
+func (c *Coordinator) applyLeaseLocked(rec *walRecord) {
+	l := &lease{id: rec.Lease, worker: rec.Worker, jobs: rec.Jobs, deadline: rec.Deadline}
+	for _, j := range rec.Jobs {
+		if j < 0 || j >= len(c.state) {
+			continue // a foreign index cannot be installed
+		}
+		c.state[j] = jobLeased
+		c.owner[j] = l.id
+	}
+	c.leases[l.id] = l
+	if n, err := strconv.Atoi(strings.TrimPrefix(rec.Lease, "L")); err == nil && n > c.leaseSeq {
+		c.leaseSeq = n
+	}
+	w := c.workerLocked(rec.Worker, rec.Time)
+	w.Leases++
+}
+
+// applyCompleteLocked ingests a validated completion: the journaled
+// transition shared by the live Complete path and replay. First write
+// wins; results for already-resolved jobs count as duplicates. Callers
+// hold c.mu (or own the coordinator exclusively during recovery).
+func (c *Coordinator) applyCompleteLocked(rec *walRecord) (CompleteResponse, error) {
+	w := c.workerLocked(rec.Worker, rec.Time)
+	var resp CompleteResponse
+	resolve := func(idx int) bool {
+		if c.state[idx] == jobDone {
+			resp.Duplicates++
+			w.Duplicates++
+			return false
+		}
+		c.state[idx] = jobDone
+		c.owner[idx] = ""
+		c.unresolved--
+		resp.Accepted++
+		return true
+	}
+	for i := range rec.Cells {
+		idx, ok := c.keyIdx[rec.Cells[i].Key]
+		if !ok {
+			return resp, fmt.Errorf("distrib: journaled cell %s addresses no job of this plan", rec.Cells[i].Key)
+		}
+		if resolve(idx) {
+			c.cells[idx] = &rec.Cells[i]
+			w.Completed++
+		}
+	}
+	for i := range rec.Failures {
+		idx, ok := c.labelIdx[rec.Failures[i].Label]
+		if !ok {
+			return resp, fmt.Errorf("distrib: journaled failure %q addresses no job of this plan", rec.Failures[i].Label)
+		}
+		if resolve(idx) {
+			c.failures[idx] = &rec.Failures[i]
+			w.Failed++
+		}
+	}
+	if l := c.leases[rec.Lease]; l != nil {
+		c.releaseLocked(l)
+		delete(c.leases, rec.Lease)
+	}
+	if c.unresolved == 0 {
+		resp.Done = true
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+	return resp, nil
+}
+
+// Gate fronts a handler that is not ready yet: every request is
+// answered 503 + Retry-After until Ready installs the real handler.
+// The coordinator sits behind one while replaying its journal, so a
+// retrying agent sees an honest "come back shortly", never a
+// half-recovered answer.
+type Gate struct {
+	h atomic.Value // http.Handler once Ready
+}
+
+// NewGate returns a gate with no handler installed.
+func NewGate() *Gate { return &Gate{} }
+
+// Ready installs the real handler; subsequent requests pass through.
+func (g *Gate) Ready(h http.Handler) { g.h.Store(h) }
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := g.h.Load().(http.Handler); ok && h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error": "coordinator is recovering; retry shortly",
+	})
+}
+
+// ServeRecovering binds addr immediately, serves 503 + Retry-After
+// while build constructs (and possibly replays) the coordinator, then
+// swaps in the real handler and serves until every job is resolved —
+// the restart-side counterpart of Coordinator.Serve. Binding before
+// building means agents that outlived a crashed coordinator start
+// getting well-formed "retry shortly" answers the moment the new
+// process is up, not connection refusals racing the replay.
+func ServeRecovering(addr string, logw io.Writer, build func() (*Coordinator, error)) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: coordinator listen: %w", err)
+	}
+	gate := NewGate()
+	srv := &http.Server{Handler: gate}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-errCh
+	}
+	c, err := build()
+	if err != nil {
+		shutdown()
+		return nil, err
+	}
+	if ri := c.Recovery(); ri != nil {
+		fmt.Fprintf(logw, "distrib: recovery: %s\n", ri)
+	}
+	fmt.Fprintf(logw, "distrib: coordinator %s serving %d jobs on http://%s (status: http://%s/v1/status)\n",
+		c.run, len(c.plan.Jobs), ln.Addr(), ln.Addr())
+	gate.Ready(c.Handler())
+	select {
+	case <-c.Done():
+	case err := <-errCh:
+		return nil, fmt.Errorf("distrib: coordinator server: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, fmt.Errorf("distrib: coordinator shutdown: %w", err)
+	}
+	<-errCh // http.ErrServerClosed after a clean Shutdown
+	st := c.Status()
+	fmt.Fprintf(logw, "distrib: run %s complete: %d cells, %d failures, %d requeues, %d workers, elapsed %v\n",
+		c.run, st.Completed, st.Failed, st.Requeues, len(st.Workers), st.Elapsed.Round(time.Millisecond))
+	return c, nil
+}
+
+// sortedExpiredLocked returns the ids of every lapsed lease in sorted
+// order — the deterministic order the expire record carries and replay
+// releases in. Callers hold c.mu.
+func (c *Coordinator) sortedExpiredLocked(now time.Time) []string {
+	var ids []string
+	for id, l := range c.leases {
+		if !l.deadline.After(now) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

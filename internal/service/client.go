@@ -4,10 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"syscall"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // Client speaks the service's JSON protocol to a remote instance.
@@ -16,6 +20,22 @@ type Client struct {
 	Base string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// RequestTimeout bounds each individual HTTP attempt; 0 leaves the
+	// transport's own limits in charge. It must comfortably exceed the
+	// long-poll window passed to Result, or every poll times out.
+	RequestTimeout time.Duration
+	// RetryWait, when positive, retries failed requests with capped
+	// jittered exponential backoff for up to this total duration. GETs
+	// (Result, Statusz) are idempotent and retry through any transport
+	// failure or 502/503/504. Submit is NOT idempotent — a retried
+	// submit whose first attempt actually landed creates a second job —
+	// so it retries only failures that prove the request never reached
+	// the service: a refused connection, or a 503 (the service rejects
+	// before admitting while draining or coming up). Zero keeps the old
+	// fail-fast behavior.
+	RetryWait time.Duration
+	// RetrySeed seeds the backoff jitter; 0 draws from the clock.
+	RetrySeed int64
 }
 
 func (c *Client) http() *http.Client {
@@ -25,38 +45,107 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// reqCtx derives the per-attempt context.
+func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.RequestTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.RequestTimeout)
+}
+
+// doRetry runs attempt under the retry policy: per-attempt timeout, and
+// — when RetryWait is armed — capped jittered exponential backoff
+// through failures shouldRetry approves.
+func (c *Client) doRetry(ctx context.Context, shouldRetry func(error) bool, attempt func(context.Context) error) error {
+	if c.RetryWait <= 0 {
+		rctx, cancel := c.reqCtx(ctx)
+		defer cancel()
+		return attempt(rctx)
+	}
+	bo := retry.New(0, 0, c.RetrySeed)
+	deadline := time.Now().Add(c.RetryWait)
+	for {
+		rctx, cancel := c.reqCtx(ctx)
+		err := attempt(rctx)
+		cancel()
+		if err == nil || ctx.Err() != nil || !shouldRetry(err) || time.Now().After(deadline) {
+			return err
+		}
+		t := time.NewTimer(bo.Next())
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// retryableGet approves retrying an idempotent request: any transport
+// failure, or a gateway/availability status.
+func retryableGet(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		switch se.code {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// retryableSubmit approves retrying a submission: only failures that
+// prove the request was never admitted.
+func retryableSubmit(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code == http.StatusServiceUnavailable
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
 // Submit posts one submission. A 429 returns accepted=false with the
 // rejection's queue depth and no error; other non-2xx statuses are
-// errors.
+// errors. See RetryWait for which failures are retried.
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (resp SubmitResponse, depth int, accepted bool, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return SubmitResponse{}, 0, false, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/submit", bytes.NewReader(body))
+	err = c.doRetry(ctx, retryableSubmit, func(rctx context.Context) error {
+		hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, c.Base+"/v1/submit", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hresp, err := c.http().Do(hreq)
+		if err != nil {
+			return err
+		}
+		defer hresp.Body.Close()
+		switch hresp.StatusCode {
+		case http.StatusOK:
+			accepted = true
+			if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+				return err
+			}
+			depth = resp.QueueDepth
+			return nil
+		case http.StatusTooManyRequests:
+			var rej rejection
+			if err := json.NewDecoder(hresp.Body).Decode(&rej); err != nil {
+				return err
+			}
+			depth = rej.QueueDepth
+			return nil
+		}
+		return httpStatusError(hresp)
+	})
 	if err != nil {
 		return SubmitResponse{}, 0, false, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hresp, err := c.http().Do(hreq)
-	if err != nil {
-		return SubmitResponse{}, 0, false, err
-	}
-	defer hresp.Body.Close()
-	switch hresp.StatusCode {
-	case http.StatusOK:
-		if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
-			return SubmitResponse{}, 0, false, err
-		}
-		return resp, resp.QueueDepth, true, nil
-	case http.StatusTooManyRequests:
-		var rej rejection
-		if err := json.NewDecoder(hresp.Body).Decode(&rej); err != nil {
-			return SubmitResponse{}, 0, false, err
-		}
-		return SubmitResponse{}, rej.QueueDepth, false, nil
-	}
-	return SubmitResponse{}, 0, false, httpStatusError(hresp)
+	return resp, depth, accepted, nil
 }
 
 // Result fetches a job's status, long-polling up to wait when positive.
@@ -82,28 +171,39 @@ func (c *Client) Statusz(ctx context.Context) (Statusz, error) {
 }
 
 func (c *Client) getJSON(ctx context.Context, url string, v any) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	hresp, err := c.http().Do(hreq)
-	if err != nil {
-		return err
-	}
-	defer hresp.Body.Close()
-	if hresp.StatusCode != http.StatusOK {
-		return httpStatusError(hresp)
-	}
-	return json.NewDecoder(hresp.Body).Decode(v)
+	return c.doRetry(ctx, retryableGet, func(rctx context.Context) error {
+		hreq, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		hresp, err := c.http().Do(hreq)
+		if err != nil {
+			return err
+		}
+		defer hresp.Body.Close()
+		if hresp.StatusCode != http.StatusOK {
+			return httpStatusError(hresp)
+		}
+		return json.NewDecoder(hresp.Body).Decode(v)
+	})
 }
+
+// statusError is a non-2xx response, typed so the retry policy can
+// branch on the code.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
 
 func httpStatusError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var rej rejection
 	if json.Unmarshal(data, &rej) == nil && rej.Error != "" {
-		return fmt.Errorf("%s: %s", resp.Status, rej.Error)
+		return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("%s: %s", resp.Status, rej.Error)}
 	}
-	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(data))}
 }
 
 // ErrShed is the Await result of a job the service accepted but then

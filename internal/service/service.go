@@ -48,7 +48,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"runtime"
 	"sort"
@@ -1010,14 +1012,34 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// maxSubmitBody caps a submission body. Inline graphs are the only big
+// field, and even the XL workload families are registered by name rather
+// than posted — 8 MiB is room for any sane inline graph while keeping a
+// hostile client from buffering the service into an OOM.
+const maxSubmitBody = 8 << 20
+
 func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	if r.Method != http.MethodPost {
 		err := rejectf(http.StatusMethodNotAllowed, "POST only")
 		httpReject(w, err)
 		return err
 	}
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mt != "application/json" {
+		err := rejectf(http.StatusUnsupportedMediaType,
+			"Content-Type %q: POST bodies must be application/json", r.Header.Get("Content-Type"))
+		httpReject(w, err)
+		return err
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		err = rejectf(http.StatusBadRequest, "bad request body: %v", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			err = rejectf(http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d byte limit", maxSubmitBody)
+		} else {
+			err = rejectf(http.StatusBadRequest, "bad request body: %v", err)
+		}
 		httpReject(w, err)
 		return err
 	}
